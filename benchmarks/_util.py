@@ -1,0 +1,19 @@
+"""Benchmark helpers: result artifacts shared by every bench module.
+
+Each benchmark regenerates one paper table/figure, prints it, and saves
+the rendered text under ``benchmarks/results/`` so EXPERIMENTS.md can
+cite measured numbers.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+def save_result(name: str, text: str) -> None:
+    """Print and persist one experiment's rendered output."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+    print(f"\n{text}\n")

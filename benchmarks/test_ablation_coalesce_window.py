@@ -1,0 +1,76 @@
+"""Ablation: the coalesced-read window size (§7.5's 1.25 MiB choice).
+
+Sweeps the window from 0 (no coalescing) upward on a real flattened
+dataset and measures storage throughput under the HDD model.  Small
+windows leave reads seek-bound; very large windows over-read cold
+features; the production 1.25 MiB sits near the knee.
+"""
+
+from repro.analysis import render_table
+from repro.dwrf import DwrfReader, EncodingOptions, IOTrace, ReadOptions
+from repro.tectonic import TectonicFilesystem, hdd_node
+from repro.warehouse import publish_table
+from repro.warehouse.publish import partition_file_name
+from repro.workloads import RM1, build_mini_dataset
+
+from ._util import save_result
+
+WINDOWS = [0, 64 << 10, 256 << 10, 1_310_720, 8 << 20]
+
+
+def run_sweep():
+    dataset = build_mini_dataset(RM1, ["p0"], 4_000, seed=11)
+    filesystem = TectonicFilesystem(n_nodes=6)
+    footers = publish_table(
+        filesystem, dataset.table, EncodingOptions(stripe_rows=2_000)
+    )
+    media = hdd_node()
+    outcomes = {}
+    for window in WINDOWS:
+        trace = IOTrace()
+        for partition, footer in footers.items():
+            path = partition_file_name(dataset.table.name, partition)
+            reader = DwrfReader(
+                footer,
+                filesystem.fetcher(path),
+                ReadOptions(projection=dataset.projection, coalesce_window=window),
+                trace=trace,
+            )
+            for index in range(len(footer.stripes)):
+                reader.read_stripe(index, dataset.schema)
+        disk_time = media.trace_time(trace.io_sizes(), trace.seek_count())
+        outcomes[window] = (trace, trace.useful_bytes / disk_time)
+    return outcomes
+
+
+def test_ablation_coalesce_window(benchmark):
+    outcomes = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+    base_throughput = outcomes[0][1]
+    rows = []
+    for window, (trace, throughput) in outcomes.items():
+        label = "none" if window == 0 else f"{window >> 10} KiB"
+        rows.append(
+            [
+                label,
+                trace.io_count,
+                trace.seek_count(),
+                f"{100 * trace.overread_fraction:.0f}%",
+                f"{throughput / base_throughput:.2f}x",
+            ]
+        )
+    save_result(
+        "ablation_coalesce_window",
+        render_table(
+            ["window", "I/Os", "seeks", "over-read", "useful throughput"],
+            rows,
+            title="Ablation — coalesced-read window size (RM1 projection, HDD)",
+        ),
+    )
+    # Any coalescing beats none on seek-bound HDDs.
+    assert outcomes[1_310_720][1] > 3 * base_throughput
+    # The production window captures most of the available gain.
+    best = max(throughput for _, throughput in outcomes.values())
+    assert outcomes[1_310_720][1] > 0.6 * best
+    # Over-read grows monotonically with the window.
+    overreads = [outcomes[w][0].overread_fraction for w in WINDOWS]
+    assert all(b >= a - 1e-9 for a, b in zip(overreads, overreads[1:]))

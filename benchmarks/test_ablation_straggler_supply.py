@@ -1,0 +1,60 @@
+"""Ablation: supply headroom for synchronous data-parallel jobs (§2).
+
+Synchronous SGD gates every iteration on the slowest trainer, so
+supply == demand still stalls; this bench quantifies the headroom DPP
+must provision at different job widths — the systems argument for the
+controller's buffered-tensor target rather than exact rate matching.
+"""
+
+from repro.analysis import render_table
+from repro.trainer import ClusterConfig, simulate_cluster, supply_for_efficiency
+
+from ._util import save_result
+
+WIDTHS = [4, 16, 64]
+
+
+def run_study():
+    outcomes = {}
+    for width in WIDTHS:
+        nominal = width / 0.06  # 1 batch per 60 ms iteration per trainer
+        config = ClusterConfig(
+            n_trainers=width,
+            compute_time_s=0.05,
+            sync_time_s=0.01,
+            batches_per_s_supplied=nominal,
+        )
+        at_nominal = simulate_cluster(config, seed=width)
+        headroom = supply_for_efficiency(config, target_efficiency=0.95, seed=width)
+        outcomes[width] = (at_nominal, headroom)
+    return outcomes
+
+
+def test_ablation_straggler_supply(benchmark):
+    outcomes = benchmark.pedantic(run_study, rounds=1, iterations=1)
+    rows = []
+    for width, (at_nominal, headroom) in outcomes.items():
+        rows.append(
+            [
+                width,
+                f"{100 * at_nominal.efficiency:.0f}%",
+                f"{100 * at_nominal.stall_fraction:.0f}%",
+                f"{headroom:.2f}x",
+            ]
+        )
+    save_result(
+        "ablation_straggler_supply",
+        render_table(
+            ["trainers", "efficiency @ nominal supply", "stall @ nominal",
+             "supply for 95% efficiency"],
+            rows,
+            title="Ablation — synchronous-SGD supply headroom vs job width",
+        ),
+    )
+    # Nominal supply always stalls a synchronous job...
+    for _, (at_nominal, _) in outcomes.items():
+        assert at_nominal.stall_fraction > 0.25
+    # ...and wider jobs need more headroom (max of more stragglers).
+    headrooms = [outcomes[w][1] for w in WIDTHS]
+    assert headrooms[0] < headrooms[-1]
+    assert all(h > 1.2 for h in headrooms)

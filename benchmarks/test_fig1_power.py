@@ -1,0 +1,45 @@
+"""Figure 1: storage / preprocessing / training power split per model.
+
+Paper: DLRMs exhibit diverse DSI resource requirements; storage plus
+online preprocessing can consume more power than the GPU trainers.
+"""
+
+from repro.analysis import render_table
+from repro.cluster import power_breakdown
+from repro.workloads import ALL_MODELS
+
+from ._util import save_result
+
+
+def run_figure1():
+    return [power_breakdown(model, n_trainers=16) for model in ALL_MODELS]
+
+
+def test_fig1_power_split(benchmark):
+    breakdowns = benchmark(run_figure1)
+    rows = []
+    for breakdown in breakdowns:
+        shares = breakdown.shares()
+        rows.append(
+            [
+                breakdown.model.name,
+                100 * shares["storage"],
+                100 * shares["preprocessing"],
+                100 * shares["training"],
+                100 * breakdown.dsi_share,
+            ]
+        )
+    save_result(
+        "fig1_power",
+        render_table(
+            ["model", "storage %", "preproc %", "training %", "DSI %"],
+            rows,
+            title="Figure 1 — power split per model (line at 50%)",
+        ),
+    )
+    dsi_shares = [breakdown.dsi_share for breakdown in breakdowns]
+    # The paper's two claims: diversity across models, and DSI
+    # exceeding training power for some models.
+    assert max(dsi_shares) > 0.5
+    assert min(dsi_shares) < 0.5
+    assert max(dsi_shares) - min(dsi_shares) > 0.2

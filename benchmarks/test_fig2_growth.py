@@ -1,0 +1,35 @@
+"""Figure 2: dataset size and ingestion bandwidth growth over 2 years.
+
+Paper: storage grew over 2x and bandwidth over 4x in two years.
+"""
+
+from repro.analysis import render_table, simulate_growth
+
+from ._util import save_result
+
+
+def run_figure2():
+    return simulate_growth(months=24, seed=0)
+
+
+def test_fig2_growth(benchmark):
+    series = benchmark(run_figure2)
+    rows = [
+        [month, float(series.dataset_size[month]), float(series.ingestion_bandwidth[month])]
+        for month in range(0, 24, 3)
+    ]
+    rows.append([23, float(series.dataset_size[-1]), float(series.ingestion_bandwidth[-1])])
+    save_result(
+        "fig2_growth",
+        render_table(
+            ["month", "dataset (norm.)", "bandwidth (norm.)"],
+            rows,
+            title=(
+                "Figure 2 — growth over 24 months "
+                f"(dataset {series.dataset_growth:.2f}x, "
+                f"bandwidth {series.bandwidth_growth:.2f}x; paper: >2x, >4x)"
+            ),
+        ),
+    )
+    assert series.dataset_growth > 2.0
+    assert series.bandwidth_growth > 4.0

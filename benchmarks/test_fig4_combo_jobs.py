@@ -1,0 +1,44 @@
+"""Figure 4: duration and status skew of 82 RM1 combo jobs.
+
+Paper: jobs launch asynchronously within the combo window, run up to
+>10 days, and many are killed or fail.
+"""
+
+import numpy as np
+
+from repro.analysis import render_table
+from repro.cluster import JobKind, JobStatus, generate_release_iteration
+
+from ._util import save_result
+
+
+def run_figure4():
+    return generate_release_iteration("RM1", start_day=0.0, seed=4)
+
+
+def test_fig4_combo_job_skew(benchmark):
+    iteration = benchmark(run_figure4)
+    combos = iteration.jobs_of_kind(JobKind.COMBO)
+    durations = np.array([job.duration_days for job in combos])
+    statuses = {
+        status: sum(1 for job in combos if job.status is status)
+        for status in JobStatus
+    }
+    rows = [
+        ["combo jobs", len(combos)],
+        ["p50 duration (days)", float(np.percentile(durations, 50))],
+        ["p95 duration (days)", float(np.percentile(durations, 95))],
+        ["max duration (days)", float(durations.max())],
+        ["completed", statuses[JobStatus.COMPLETED]],
+        ["killed", statuses[JobStatus.KILLED]],
+        ["failed", statuses[JobStatus.FAILED]],
+    ]
+    save_result(
+        "fig4_combo_jobs",
+        render_table(["metric", "value"], rows,
+                     title="Figure 4 — one RM1 release iteration's combo jobs"),
+    )
+    assert len(combos) == 82
+    assert durations.max() > 10.0  # long-running tail
+    assert iteration.combo_duration_skew() > 2.0  # heavy temporal skew
+    assert statuses[JobStatus.KILLED] + statuses[JobStatus.FAILED] > 15

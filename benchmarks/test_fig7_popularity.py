@@ -1,0 +1,48 @@
+"""Figure 7: CDF of popular bytes vs absorbed read throughput.
+
+Paper: serving 80% of traffic needs the most popular 39 / 37 / 18
+percent of RM1 / RM2 / RM3's bytes.
+"""
+
+from repro.analysis import render_table, simulate_month_of_jobs
+from repro.workloads import ALL_MODELS
+
+from ._util import save_result
+
+
+def run_figure7():
+    return {model.name: simulate_month_of_jobs(model, seed=7) for model in ALL_MODELS}
+
+
+def test_fig7_popularity_cdf(benchmark):
+    studies = benchmark(run_figure7)
+    rows = []
+    for model in ALL_MODELS:
+        study = studies[model.name]
+        measured = study.bytes_fraction_for_traffic(0.8)
+        rows.append(
+            [
+                model.name,
+                100 * measured,
+                100 * model.popularity_bytes_for_80pct,
+                100 * study.bytes_fraction_for_traffic(0.5),
+                100 * study.bytes_fraction_for_traffic(0.95),
+            ]
+        )
+    save_result(
+        "fig7_popularity",
+        render_table(
+            ["model", "bytes for 80% (meas.)", "bytes for 80% (paper)",
+             "bytes for 50%", "bytes for 95%"],
+            rows,
+            title="Figure 7 — popular bytes vs throughput absorbed",
+        ),
+    )
+    for model in ALL_MODELS:
+        measured = studies[model.name].bytes_fraction_for_traffic(0.8)
+        assert abs(measured - model.popularity_bytes_for_80pct) < 0.06
+    # RM3 exhibits the tightest reuse (its jobs barely vary).
+    assert (
+        studies["RM3"].bytes_fraction_for_traffic(0.8)
+        < studies["RM2"].bytes_fraction_for_traffic(0.8)
+    )

@@ -1,0 +1,45 @@
+"""Figure 8: trainer-host CPU and memory-bandwidth utilization as the
+tensor loading rate scales, with each model's demand marked.
+
+Paper anchors: ~40% CPU and ~55% memory bandwidth at RM1's 16.5 GB/s
+on the two-socket V100 node; production approaches NIC saturation.
+"""
+
+from repro.analysis import figure8_sweep, render_table
+from repro.common.units import GB
+from repro.trainer import loading_utilization
+from repro.workloads import ALL_MODELS, V100_TRAINER
+
+from ._util import save_result
+
+
+def run_figure8():
+    return figure8_sweep(V100_TRAINER, max_gbs=20.0, n_points=21)
+
+
+def test_fig8_loading_sweep(benchmark):
+    points = benchmark(run_figure8)
+    rows = [
+        [p.rate_gbs, 100 * p.cpu, 100 * p.mem_bw, 100 * p.nic_rx]
+        for p in points[::4]
+    ]
+    for model in ALL_MODELS:
+        report = loading_utilization(V100_TRAINER, model.trainer_bytes_per_s)
+        rows.append(
+            [f"{model.name} @ {model.trainer_gbs}", 100 * report.cpu,
+             100 * report.mem_bw, 100 * report.nic_rx]
+        )
+    save_result(
+        "fig8_loading",
+        render_table(
+            ["rate GB/s", "CPU %", "mem BW %", "NIC %"],
+            rows,
+            title="Figure 8 — host utilization vs tensor loading rate (V100 node)",
+        ),
+    )
+    rm1 = loading_utilization(V100_TRAINER, 16.5 * GB)
+    assert abs(rm1.cpu - 0.40) < 0.03
+    assert abs(rm1.mem_bw - 0.55) < 0.03
+    assert rm1.nic_rx > 0.6  # approaching NIC saturation
+    # Utilization scales linearly with rate.
+    assert points[20].cpu > points[10].cpu > points[1].cpu

@@ -1,0 +1,54 @@
+"""Figure 9: DPP worker CPU / memory / memory-bandwidth utilization at
+saturation, with the CPU split into transformation, extraction, misc.
+
+Paper: RM1 is CPU + memory-bandwidth bound; RM3 is memory-capacity
+bound (thread pool limited to avoid OOM).
+"""
+
+from repro.analysis import figure9_rows, render_table
+from repro.dpp.analytical import per_sample_cost
+from repro.workloads import ALL_MODELS, RM2
+
+from ._util import save_result
+
+
+def run_figure9():
+    return figure9_rows()
+
+
+def test_fig9_worker_utilization(benchmark):
+    rows = benchmark(run_figure9)
+    table = [
+        [
+            row.model_name,
+            100 * row.cpu_transformation,
+            100 * row.cpu_extraction,
+            100 * row.cpu_misc,
+            100 * row.mem_capacity,
+            100 * row.mem_bw,
+            row.bottleneck,
+        ]
+        for row in rows
+    ]
+    save_result(
+        "fig9_worker_util",
+        render_table(
+            ["model", "CPU xform %", "CPU extract %", "CPU misc %",
+             "mem cap %", "mem BW %", "bottleneck"],
+            table,
+            title="Figure 9 — DPP worker utilization at saturation (C-v1)",
+        ),
+    )
+    by_name = {row.model_name: row for row in rows}
+    # RM1: transformation dominates its CPU time; mem BW co-bound.
+    assert by_name["RM1"].cpu_transformation > by_name["RM1"].cpu_extraction
+    assert by_name["RM1"].mem_bw > 0.6
+    # RM2: NIC-bound on C-v1 (Section 6.3).
+    assert by_name["RM2"].bottleneck == "nic_rx"
+    # RM3: memory capacity pressure limits the thread pool.
+    assert by_name["RM3"].bottleneck == "memory_capacity"
+    assert by_name["RM3"].mem_capacity > 0.5
+    # Section 6.3's LLC-miss split for RM2 (50.4/24.9/16.4/4.7).
+    shares = per_sample_cost(RM2).mem_shares()
+    assert abs(shares["transformation"] - 0.504) < 0.04
+    assert abs(shares["network_receive"] - 0.164) < 0.04

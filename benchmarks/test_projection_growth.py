@@ -1,0 +1,69 @@
+"""Projection: the §6.1 3.5x demand growth against fleets and hosts.
+
+Paper: "we project the online preprocessing throughput requirement to
+increase by 3.5x within the next two years"; §7.1: trainers must
+provision host resources for loading, e.g. ZionEX's 4x100 Gbps NICs.
+"""
+
+from repro.analysis import (
+    project_demand_growth,
+    render_table,
+    trainer_host_headroom,
+)
+from repro.workloads import ALL_MODELS, C_V1, C_VSOTA, V100_TRAINER, ZIONEX_TRAINER
+
+from ._util import save_result
+
+
+def run_projection():
+    fleet = {
+        model.name: (
+            project_demand_growth(model, C_V1),
+            project_demand_growth(model, C_VSOTA),
+        )
+        for model in ALL_MODELS
+    }
+    hosts = {
+        model.name: (
+            trainer_host_headroom(model, V100_TRAINER, growth=3.5),
+            trainer_host_headroom(model, ZIONEX_TRAINER, growth=3.5),
+        )
+        for model in ALL_MODELS
+    }
+    return fleet, hosts
+
+
+def test_projection_growth(benchmark):
+    fleet, hosts = benchmark(run_projection)
+    rows = []
+    for model in ALL_MODELS:
+        on_v1, on_sota = fleet[model.name]
+        v100, zionex = hosts[model.name]
+        rows.append(
+            [
+                model.name,
+                f"{on_v1.workers_per_trainer_now:.1f}",
+                f"{on_v1.workers_per_trainer_grown:.1f}",
+                f"{on_sota.workers_per_trainer_grown:.1f}",
+                f"{100 * v100.utilization:.0f}%",
+                f"{100 * zionex.utilization:.0f}%",
+            ]
+        )
+    save_result(
+        "projection_growth",
+        render_table(
+            ["model", "workers/trainer now (C-v1)", "at 3.5x (C-v1)",
+             "at 3.5x (C-vSotA)", "V100 host load @3.5x", "ZionEX host load @3.5x"],
+            rows,
+            title="Projection — §6.1's 3.5x growth: fleet sizes and host headroom",
+        ),
+    )
+    # Fleets triple and a half on fixed hardware; SotA nodes claw back.
+    for model in ALL_MODELS:
+        on_v1, on_sota = fleet[model.name]
+        assert on_v1.workers_per_trainer_grown > 3 * on_v1.workers_per_trainer_now
+        assert on_sota.workers_per_trainer_grown < on_v1.workers_per_trainer_grown
+    # RM1's grown demand overloads the V100-era host but today's
+    # demand fits both — the §7.1 provisioning story.
+    assert hosts["RM1"][0].utilization > 1.0
+    assert trainer_host_headroom(ALL_MODELS[0], ZIONEX_TRAINER).feasible

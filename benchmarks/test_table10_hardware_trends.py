@@ -1,0 +1,55 @@
+"""Table 10: compute-server generations and the per-core trends that
+drive Section 6.3's projection (memory bandwidth per core shrinking,
+NIC bandwidth per core growing → memory bandwidth becomes the DPP
+bottleneck).
+"""
+
+from repro.analysis import render_table
+from repro.dpp.analytical import worker_throughput
+from repro.workloads import COMPUTE_GENERATIONS, RM2
+
+from ._util import save_result
+
+
+def run_table10():
+    return [
+        (spec, worker_throughput(RM2, spec)) for spec in COMPUTE_GENERATIONS
+    ]
+
+
+def test_table10_hardware_trends(benchmark):
+    results = benchmark(run_table10)
+    rows = []
+    for spec, throughput in results:
+        rows.append(
+            [
+                spec.name,
+                spec.physical_cores,
+                spec.nic_gbps,
+                spec.memory_gb,
+                spec.peak_mem_bw_gbs,
+                spec.mem_bw_per_core_gbs,
+                spec.nic_bw_per_core_gbps,
+                throughput.bottleneck,
+            ]
+        )
+    save_result(
+        "table10_hardware",
+        render_table(
+            ["node", "cores", "NIC Gbps", "mem GB", "mem BW GB/s",
+             "mem BW/core", "NIC BW/core", "RM2 bottleneck"],
+            rows,
+            title="Table 10 — compute server generations (RM2 bottleneck per gen)",
+        ),
+    )
+    specs = [spec for spec, _ in results]
+    v1, v2, v3, sota = specs
+    # Per-core memory bandwidth shrinks across real generations.
+    assert v1.mem_bw_per_core_gbs > v2.mem_bw_per_core_gbs > v3.mem_bw_per_core_gbs
+    # Per-core NIC bandwidth grows to the SotA node.
+    assert sota.nic_bw_per_core_gbps > v1.nic_bw_per_core_gbps
+    # The §6.3 projection: RM2 flips from NIC-bound (C-v1) to
+    # memory-bandwidth-bound (C-v2 onward).
+    bottlenecks = {spec.name: t.bottleneck for spec, t in results}
+    assert bottlenecks["C-v1"] == "nic_rx"
+    assert bottlenecks["C-v2"] == "mem_bw"

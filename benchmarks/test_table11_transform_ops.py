@@ -1,0 +1,89 @@
+"""Table 11: the preprocessing operator suite and the Section 6.4
+cycle split across op classes (feature generation ~75%, sparse
+normalization ~20%, dense normalization ~5%).
+"""
+
+import numpy as np
+
+from repro.analysis import render_table
+from repro.transforms import (
+    Bucketize,
+    FeatureBatch,
+    FirstX,
+    Logit,
+    NGram,
+    OpClass,
+    SigridHash,
+    TransformDag,
+    execute_with_cost,
+    registered_ops,
+)
+from repro.transforms.batch import DenseColumn, SparseColumn
+
+from ._util import save_result
+
+TABLE11_OPS = {
+    "Cartesian", "Bucketize", "ComputeScore", "Enumerate", "PositiveModulus",
+    "IdListTransform", "BoxCox", "Logit", "MapId", "FirstX", "GetLocalHour",
+    "SigridHash", "NGram", "Onehot", "Clamp", "Sampling",
+}
+
+
+def production_mix_batch(n_rows=512, seed=0):
+    rng = np.random.default_rng(seed)
+    batch = FeatureBatch(labels=np.zeros(n_rows, dtype=np.float32))
+    batch.add_column(
+        1, DenseColumn(rng.random(n_rows).astype(np.float32),
+                       np.ones(n_rows, dtype=bool))
+    )
+    lists = [list(rng.integers(0, 10_000, size=rng.integers(1, 30)))
+             for _ in range(n_rows)]
+    batch.add_column(2, SparseColumn.from_lists(lists))
+    return batch
+
+
+def production_mix_dag():
+    """A production-shaped mix: per-feature normalization plus feature
+    generation chains (Section 6.4's dominant class)."""
+    dag = TransformDag()
+    dag.add(100, Logit(1))
+    dag.add(101, FirstX(2, 16))
+    dag.add(102, SigridHash(101, 1_000_000))
+    dag.add(103, Bucketize(1, [0.25, 0.5, 0.75]))
+    dag.add(104, NGram([2, 2], n=2))
+    dag.add(105, SigridHash(104, 1_000_000))
+    dag.add(106, NGram([103, 101], n=2))
+    dag.add(107, SigridHash(106, 1_000_000))
+    return dag
+
+
+def run_table11():
+    batch = production_mix_batch()
+    return execute_with_cost(production_mix_dag(), batch)
+
+
+def test_table11_transform_ops(benchmark):
+    report = benchmark.pedantic(run_table11, rounds=1, iterations=1)
+    assert set(registered_ops()) == TABLE11_OPS
+
+    shares = report.class_shares()
+    rows = [
+        ["feature generation", 100 * shares[OpClass.FEATURE_GENERATION], 75],
+        ["sparse normalization", 100 * shares[OpClass.SPARSE_NORMALIZATION], 20],
+        ["dense normalization", 100 * shares[OpClass.DENSE_NORMALIZATION], 5],
+    ]
+    save_result(
+        "table11_transform_ops",
+        render_table(
+            ["op class", "% cycles (meas.)", "% cycles (paper)"],
+            rows,
+            title=(
+                "Table 11 — transform op suite "
+                f"({len(TABLE11_OPS)} ops implemented) and §6.4 cycle split"
+            ),
+        ),
+    )
+    # Section 6.4's ordering: generation >> sparse norm >> dense norm.
+    assert shares[OpClass.FEATURE_GENERATION] > 0.55
+    assert shares[OpClass.SPARSE_NORMALIZATION] > shares[OpClass.DENSE_NORMALIZATION]
+    assert shares[OpClass.DENSE_NORMALIZATION] < 0.10

@@ -1,0 +1,63 @@
+"""Table 12: DPP and storage throughput under progressive optimizations.
+
+Paper:
+  DPP     1.00 / 2.00 / 2.30 / 2.94 / 2.94 / 2.94 / 2.94
+  Storage 1.00 / 0.03 / 0.03 / 0.03 / 0.99 / 1.84 / 2.41
+for Baseline / +FF / +FM / +LO / +CR / +FR / +LS.
+
+Every stage flips a real code path or layout knob; the dataset is a
+miniature RM1 table large enough that per-stripe over-read costs more
+disk time than a seek — the regime where FR and LS pay off.
+"""
+
+import pytest
+
+from repro.analysis import render_table, run_ablation
+from repro.workloads import RM1, build_mini_dataset
+
+from ._util import save_result
+
+PAPER_DPP = {"Baseline": 1.00, "+FF": 2.00, "+FM": 2.30, "+LO": 2.94,
+             "+CR": 2.94, "+FR": 2.94, "+LS": 2.94}
+PAPER_STORAGE = {"Baseline": 1.00, "+FF": 0.03, "+FM": 0.03, "+LO": 0.03,
+                 "+CR": 0.99, "+FR": 1.84, "+LS": 2.41}
+
+
+def run_table12():
+    dataset = build_mini_dataset(RM1, ["p0"], 6_000, seed=11)
+    return run_ablation(dataset)
+
+
+def test_table12_optimizations(benchmark):
+    result = benchmark.pedantic(run_table12, rounds=1, iterations=1)
+    dpp = result.normalized_dpp()
+    storage = result.normalized_storage()
+    rows = [
+        [name, dpp[name], PAPER_DPP[name], storage[name], PAPER_STORAGE[name]]
+        for name in PAPER_DPP
+    ]
+    save_result(
+        "table12_optimizations",
+        render_table(
+            ["stage", "DPP thpt (meas.)", "DPP (paper)",
+             "storage thpt (meas.)", "storage (paper)"],
+            rows,
+            title="Table 12 — progressive DSI optimizations (normalized)",
+        ),
+    )
+    # DPP side: FF ~2x, FM adds ~15%, LO adds ~28%, reads don't change CPU.
+    assert dpp["+FF"] == pytest.approx(2.0, abs=0.35)
+    assert 1.05 < dpp["+FM"] / dpp["+FF"] < 1.35
+    assert 1.15 < dpp["+LO"] / dpp["+FM"] < 1.40
+    assert dpp["+LS"] == pytest.approx(dpp["+LO"], rel=0.05)
+
+    # Storage side: FF craters throughput; CR restores ~baseline;
+    # FR and LS push beyond it.
+    assert storage["+FF"] < 0.35
+    assert storage["+CR"] == pytest.approx(1.0, abs=0.25)
+    assert storage["+FR"] > 1.4 * storage["+CR"]
+    assert storage["+LS"] > storage["+FR"]
+    assert storage["+LS"] > 2.0
+
+    # End-to-end gains in the paper's direction (2.94x / 2.41x).
+    assert dpp["+LS"] > 2.5

@@ -1,0 +1,44 @@
+"""Table 2: features created for RM1's dataset within six months and
+their lifecycle status six months later.
+
+Paper: 10148 beta / 883 experimental / 1650 active / 1933 deprecated
+out of 14614 proposals.
+"""
+
+from repro.analysis import render_table, simulate_feature_lifecycle
+from repro.warehouse import TableSchema
+
+from ._util import save_result
+
+PAPER = {"beta": 10_148, "experimental": 883, "active": 1_650, "deprecated": 1_933}
+
+
+def run_table2():
+    schema = TableSchema("rm1_table")
+    counts = simulate_feature_lifecycle(14_614, seed=2, schema=schema)
+    return counts, schema
+
+
+def test_table2_lifecycle(benchmark):
+    counts, schema = benchmark(run_table2)
+    measured = {
+        "beta": counts.beta,
+        "experimental": counts.experimental,
+        "active": counts.active,
+        "deprecated": counts.deprecated,
+    }
+    rows = [[k, measured[k], PAPER[k]] for k in PAPER] + [
+        ["total", counts.total, 14_614]
+    ]
+    save_result(
+        "table2_feature_lifecycle",
+        render_table(["status", "measured", "paper"], rows,
+                     title="Table 2 — RM1 feature proposals over 6 months"),
+    )
+    assert counts.total == 14_614
+    for key, paper_value in PAPER.items():
+        assert abs(measured[key] - paper_value) / paper_value < 0.12
+    # Beta features are not logged: the schema's storage footprint is
+    # only the non-beta features.
+    logged = len(schema.logged_features())
+    assert logged == counts.experimental + counts.active + counts.deprecated

@@ -1,0 +1,76 @@
+"""Table 3: compressed sizes of all / each / used partitions per model.
+
+Paper scale is petabytes; the miniature reproduces the *ratios* (used /
+all, partition count) with real compressed DWRF bytes, then reports the
+declared production sizes alongside.
+"""
+
+from repro.analysis import render_table
+from repro.common.units import to_pb
+from repro.dwrf import EncodingOptions
+from repro.dwrf.writer import write_table_partition
+from repro.workloads import ALL_MODELS, build_mini_dataset
+
+from ._util import save_result
+
+
+def run_table3():
+    results = {}
+    for model in ALL_MODELS:
+        # A handful of date partitions; a representative RC job reads
+        # most but not all of them (Table 3's used < all).
+        n_partitions = 6
+        used = round(n_partitions * model.table_sizes.used_partitions
+                     / model.table_sizes.all_partitions)
+        dataset = build_mini_dataset(
+            model, [f"ds={i}" for i in range(n_partitions)], 150, seed=3
+        )
+        sizes = {}
+        for name in dataset.table.partition_names():
+            dwrf = write_table_partition(
+                dataset.table.partition(name).rows,
+                dataset.schema,
+                EncodingOptions(stripe_rows=256),
+            )
+            sizes[name] = dwrf.size
+        results[model.name] = (sizes, used)
+    return results
+
+
+def test_table3_partition_sizes(benchmark):
+    results = benchmark(run_table3)
+    rows = []
+    for model in ALL_MODELS:
+        sizes, used = results[model.name]
+        total = sum(sizes.values())
+        used_bytes = sum(list(sizes.values())[:used])
+        rows.append(
+            [
+                model.name,
+                total / 1e6,  # MB at miniature scale
+                (total / len(sizes)) / 1e6,
+                used_bytes / 1e6,
+                used_bytes / total,
+                model.table_sizes.used_partitions / model.table_sizes.all_partitions,
+                to_pb(model.table_sizes.all_partitions),
+            ]
+        )
+    save_result(
+        "table3_partition_sizes",
+        render_table(
+            ["model", "all (MB mini)", "each (MB mini)", "used (MB mini)",
+             "used/all (meas.)", "used/all (paper)", "paper all (PB)"],
+            rows,
+            title="Table 3 — partition sizes (miniature bytes, paper ratios)",
+        ),
+    )
+    for model in ALL_MODELS:
+        sizes, used = results[model.name]
+        measured_ratio = sum(list(sizes.values())[:used]) / sum(sizes.values())
+        paper_ratio = (
+            model.table_sizes.used_partitions / model.table_sizes.all_partitions
+        )
+        assert abs(measured_ratio - paper_ratio) < 0.2
+        # Partitions are near-uniform in size (daily cadence).
+        values = list(sizes.values())
+        assert max(values) / min(values) < 1.3

@@ -1,0 +1,61 @@
+"""Table 4: dense / sparse / derived features each model requires.
+
+The miniature job DAG must reproduce the paper's per-type selection
+rates and derived-feature scaling.
+"""
+
+from repro.analysis import render_table
+from repro.workloads import ALL_MODELS, build_mini_dataset
+
+from ._util import save_result
+
+
+def run_table4():
+    return {
+        model.name: build_mini_dataset(model, ["p0"], 60, seed=4)
+        for model in ALL_MODELS
+    }
+
+
+def test_table4_model_features(benchmark):
+    datasets = benchmark(run_table4)
+    rows = []
+    for model in ALL_MODELS:
+        dataset = datasets[model.name]
+        dense = sum(
+            1 for fid in dataset.projection
+            if dataset.schema.get(fid).name.startswith("dense_")
+        )
+        sparse = len(dataset.projection) - dense
+        derived = len(dataset.output_ids)
+        rows.append(
+            [model.name, dense, sparse, derived,
+             model.features.n_dense, model.features.n_sparse,
+             model.features.n_derived]
+        )
+    save_result(
+        "table4_model_features",
+        render_table(
+            ["model", "dense (mini)", "sparse (mini)", "derived (mini)",
+             "dense (paper)", "sparse (paper)", "derived (paper)"],
+            rows,
+            title="Table 4 — features required per model (miniature vs paper)",
+        ),
+    )
+    for model in ALL_MODELS:
+        dataset = datasets[model.name]
+        dense = sum(
+            1 for fid in dataset.projection
+            if dataset.schema.get(fid).name.startswith("dense_")
+        )
+        sparse = len(dataset.projection) - dense
+        # Selection rates (features used / features stored) match the
+        # paper's per-type rates at miniature scale.
+        dense_total = sum(
+            1 for s in dataset.schema if s.name.startswith("dense_")
+        )
+        sparse_total = len(dataset.schema) - dense_total
+        paper_dense_rate = model.features.n_dense / model.dataset.n_float_features
+        paper_sparse_rate = model.features.n_sparse / model.dataset.n_sparse_features
+        assert abs(dense / dense_total - paper_dense_rate) < 0.03
+        assert abs(sparse / sparse_total - paper_sparse_rate) < 0.08

@@ -1,0 +1,44 @@
+"""Table 6: I/O sizes of an RM1 training job reading from storage.
+
+Paper distribution (bytes): mean 23.2K, std 117K, p5 18, p25 451,
+p50 1.24K, p75 3.92K, p95 97.7K — heavily right-skewed small reads.
+Absolute sizes shrink with the miniature's row count; the asserted
+target is the shape (mean >> median, long tail).
+"""
+
+from repro.analysis import measure_io_sizes, render_table
+from repro.workloads import RM1, build_mini_dataset
+
+from ._util import save_result
+
+PAPER = {"mean": 23_200, "p5": 18, "p25": 451, "p50": 1_240, "p75": 3_920, "p95": 97_700}
+
+
+def run_table6():
+    dataset = build_mini_dataset(RM1, ["p0"], 2_500, seed=11)
+    return measure_io_sizes(dataset, stripe_rows=2_500)
+
+
+def test_table6_io_sizes(benchmark):
+    study = benchmark.pedantic(run_table6, rounds=1, iterations=1)
+    summary = study.summary
+    rows = [
+        ["mean", summary.mean, PAPER["mean"]],
+        ["std", summary.std, "117000"],
+        ["p5", summary.p5, PAPER["p5"]],
+        ["p25", summary.p25, PAPER["p25"]],
+        ["p50", summary.p50, PAPER["p50"]],
+        ["p75", summary.p75, PAPER["p75"]],
+        ["p95", summary.p95, PAPER["p95"]],
+        ["mean/p50 skew", study.skew, f"{PAPER['mean'] / PAPER['p50']:.1f}"],
+    ]
+    save_result(
+        "table6_io_sizes",
+        render_table(["stat", "measured (B)", "paper (B)"], rows,
+                     title="Table 6 — I/O sizes of an RM1 job (no coalescing)"),
+    )
+    # Shape assertions: small median, heavy right tail, mean >> median.
+    assert summary.p50 < 10_000
+    assert study.skew > 3.0
+    assert summary.p95 > 10 * summary.p50
+    assert summary.p5 < summary.p25 < summary.p50 < summary.p75 < summary.p95

@@ -1,0 +1,37 @@
+"""Table 7: data stalls when preprocessing runs on the trainer's CPUs.
+
+Paper: 56% of GPU cycles stalled, 92% CPU utilization, 54% memory
+bandwidth utilization for RM1 on a 2-socket, 8-V100 node.
+"""
+
+from repro.analysis import render_table
+from repro.trainer import GpuDemand, V100_DEMAND_FACTOR, on_host_preprocessing_study
+from repro.workloads import RM1, V100_TRAINER
+
+from ._util import save_result
+
+
+def run_table7():
+    demand = GpuDemand(RM1, V100_DEMAND_FACTOR)
+    return on_host_preprocessing_study(RM1, V100_TRAINER, demand)
+
+
+def test_table7_data_stalls(benchmark):
+    report = benchmark(run_table7)
+    rows = [
+        ["% GPU stall time", 100 * report.gpu_stall_fraction, 56],
+        ["% CPU utilization", 100 * report.cpu_utilization, 92],
+        ["% memory BW utilization", 100 * report.mem_bw_utilization, 54],
+        ["supplied samples/s", report.supplied_samples_per_s, "-"],
+        ["demanded samples/s", report.demanded_samples_per_s, "-"],
+    ]
+    save_result(
+        "table7_data_stalls",
+        render_table(["metric", "measured", "paper"], rows,
+                     title="Table 7 — on-host preprocessing stalls (RM1, V100 node)"),
+    )
+    assert abs(report.gpu_stall_fraction - 0.56) < 0.03
+    assert abs(report.cpu_utilization - 0.92) < 0.02
+    assert abs(report.mem_bw_utilization - 0.54) < 0.05
+    # The motivating claim: host CPUs cannot feed the GPUs.
+    assert report.supplied_samples_per_s < report.demanded_samples_per_s

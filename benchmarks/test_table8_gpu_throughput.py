@@ -1,0 +1,47 @@
+"""Table 8: per-node GPU tensor ingestion throughput and its spread.
+
+Paper: 16.50 / 4.69 / 12.00 GB/s per 8-GPU node for RM1/RM2/RM3 —
+diverse demand that precludes one-size preprocessing provisioning;
+demand projected to grow 3.5x within two years.
+"""
+
+from repro.analysis import render_table, table8_rows
+from repro.trainer import GpuDemand, PROJECTED_GROWTH_FACTOR
+from repro.workloads import ALL_MODELS
+
+from ._util import save_result
+
+
+def run_table8():
+    rows = table8_rows()
+    demands = {m.name: GpuDemand(m) for m in ALL_MODELS}
+    return rows, demands
+
+
+def test_table8_gpu_throughput(benchmark):
+    rows, demands = benchmark(run_table8)
+    table = []
+    for row, model in zip(rows, ALL_MODELS):
+        demand = demands[model.name]
+        table.append(
+            [
+                row.model_name,
+                row.trainer_gbs,
+                demand.samples_per_s / 1_000,
+                demand.projected().bytes_per_s / 1e9,
+            ]
+        )
+    save_result(
+        "table8_gpu_throughput",
+        render_table(
+            ["model", "GB/s per node", "ksamples/s per node",
+             f"GB/s after {PROJECTED_GROWTH_FACTOR}x growth"],
+            table,
+            title="Table 8 — GPU trainer ingest throughput per 8-GPU node",
+        ),
+    )
+    measured = {row.model_name: row.trainer_gbs for row in rows}
+    assert measured == {"RM1": 16.50, "RM2": 4.69, "RM3": 12.00}
+    assert max(measured.values()) / min(measured.values()) > 3.0
+    # Growth projection applies uniformly.
+    assert demands["RM1"].projected().bytes_per_s == 3.5 * demands["RM1"].bytes_per_s

@@ -1,0 +1,57 @@
+"""Table 9: DPP worker throughput on C-v1 and workers per trainer node.
+
+Paper: 11.623 / 7.995 / 36.921 kQPS and 24.16 / 9.44 / 55.22 workers
+per trainer for RM1/RM2/RM3, with distinct bottlenecks per model.
+"""
+
+from repro.analysis import render_table, table9_rows
+from repro.workloads import ALL_MODELS
+
+from ._util import save_result
+
+PAPER_BOTTLENECKS = {"RM1": ("cpu", "mem_bw"), "RM2": ("nic_rx",),
+                     "RM3": ("memory_capacity",)}
+
+
+def run_table9():
+    return table9_rows()
+
+
+def test_table9_dpp_throughput(benchmark):
+    rows = benchmark(run_table9)
+    table = []
+    for row, model in zip(rows, ALL_MODELS):
+        table.append(
+            [
+                row.model_name,
+                row.kqps,
+                model.dpp.kqps,
+                row.storage_rx_gbs,
+                row.transform_rx_gbs,
+                row.transform_tx_gbs,
+                row.workers_per_trainer,
+                model.dpp.workers_per_trainer,
+                row.bottleneck,
+            ]
+        )
+    save_result(
+        "table9_dpp_throughput",
+        render_table(
+            ["model", "kQPS (meas.)", "kQPS (paper)", "storage RX GB/s",
+             "xform RX GB/s", "xform TX GB/s", "workers/trainer (meas.)",
+             "workers/trainer (paper)", "bottleneck"],
+            table,
+            title="Table 9 — DPP worker throughput on C-v1",
+        ),
+    )
+    for row, model in zip(rows, ALL_MODELS):
+        assert abs(row.kqps - model.dpp.kqps) / model.dpp.kqps < 0.08
+        assert (
+            abs(row.workers_per_trainer - model.dpp.workers_per_trainer)
+            / model.dpp.workers_per_trainer
+            < 0.08
+        )
+        assert row.bottleneck in PAPER_BOTTLENECKS[row.model_name]
+    # The paper's range: between ~9 and ~55 workers per trainer node.
+    counts = [row.workers_per_trainer for row in rows]
+    assert min(counts) < 10 and max(counts) > 50

@@ -1,0 +1,95 @@
+"""DPP auto-scaling: right-sizing workers to eliminate data stalls.
+
+Two halves:
+
+1. *Analytical*: for each RM, how many C-v1 workers one 8-GPU trainer
+   needs (Table 9), and the stall fraction at under/right/over-sized
+   fleets — showing why static provisioning wastes capacity and why
+   the controller targets "non-zero buffered tensors".
+2. *Executable*: a live session that starts undersized; the controller
+   observes empty buffers and launches workers until the fleet keeps
+   up, then the session drains.
+
+Run:  python examples/autoscaling_demo.py
+"""
+
+from repro.dpp import AutoscalerConfig, DppSession, SessionSpec
+from repro.dpp.analytical import worker_throughput, workers_per_trainer
+from repro.dwrf import EncodingOptions
+from repro.tectonic import TectonicFilesystem
+from repro.trainer import GpuDemand, dpp_supplied_stall
+from repro.transforms import FirstX, SigridHash, TransformDag
+from repro.warehouse import DatasetProfile, SampleGenerator, Table, publish_table
+from repro.workloads import ALL_MODELS, C_V1
+
+
+def analytical_half() -> None:
+    print("=== Right-sizing DPP fleets (analytical, Table 9) ===")
+    for model in ALL_MODELS:
+        throughput = worker_throughput(model, C_V1)
+        needed = workers_per_trainer(model, C_V1)
+        print(f"\n{model.name}: {throughput.qps / 1e3:.1f} kQPS/worker "
+              f"(bottleneck: {throughput.bottleneck}), "
+              f"{needed:.1f} workers per trainer node")
+        demand = GpuDemand(model)
+        for factor, label in ((0.5, "undersized"), (1.05, "right-sized"),
+                              (2.0, "over-provisioned")):
+            stall = dpp_supplied_stall(
+                model, demand, needed * factor, throughput.qps
+            )
+            print(f"  {label:16s} ({factor:>4.2f}x fleet): "
+                  f"GPU stall {100 * stall:5.1f}%")
+
+
+def executable_half() -> None:
+    print("\n=== Live auto-scaling session ===")
+    profile = DatasetProfile(n_dense=20, n_sparse=10, avg_coverage=0.5,
+                             avg_sparse_length=8.0)
+    generator = SampleGenerator(profile, seed=3)
+    schema = generator.build_schema("autoscale_table")
+    table = Table(schema)
+    generator.populate_table(table, ["p0", "p1", "p2"], 600)
+    filesystem = TectonicFilesystem(n_nodes=6)
+    footers = publish_table(filesystem, table, EncodingOptions(stripe_rows=128))
+
+    sparse_id = [s.feature_id for s in schema
+                 if s.name.startswith("sparse_")][0]
+    dag = TransformDag()
+    dag.add(900, FirstX(sparse_id, 8))
+    dag.add(901, SigridHash(900, 100_000))
+    spec = SessionSpec(
+        table_name=table.name,
+        partitions=tuple(table.partition_names()),
+        projection=frozenset({sparse_id}),
+        dag=dag,
+        output_ids=(901,),
+        batch_size=128,
+    )
+    session = DppSession(
+        spec, filesystem, schema, footers,
+        n_workers=1,  # deliberately undersized
+        autoscaler_config=AutoscalerConfig(scale_up_step=2, max_workers=8),
+    )
+    print(f"start: {len(session.live_workers)} worker(s)")
+    # Control loop: evaluate before pumping each chunk of work.
+    for round_index in range(4):
+        session.run_autoscaler()
+        for worker in session.live_workers:
+            if worker.wants_work:
+                worker.process_one_split()
+        print(f"round {round_index}: {len(session.live_workers)} workers, "
+              f"buffered={sum(w.buffered_batches for w in session.live_workers)}")
+    report = session.pump()
+    print(f"done: {report.rows_processed} rows, peak fleet "
+          f"{report.peak_workers} workers")
+    for event in report.scaling_events:
+        print(f"  scaling event: {event}")
+
+
+def main() -> None:
+    analytical_half()
+    executable_half()
+
+
+if __name__ == "__main__":
+    main()

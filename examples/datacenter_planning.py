@@ -1,0 +1,106 @@
+"""Datacenter planning for DSI: power, provisioning, and scheduling.
+
+Reproduces the Section 7 planning studies:
+
+* Figure 1's power split per model, and what a 2.59x DSI efficiency
+  gain frees for trainers (Section 7.5);
+* the HDD throughput-to-storage gap and an SSD hot tier sized by the
+  Figure 7 popularity curve (Section 7.2);
+* balanced versus bin-packed global scheduling (Section 7.3).
+
+Run:  python examples/datacenter_planning.py
+"""
+
+from repro.analysis import render_table, simulate_month_of_jobs
+from repro.cluster import (
+    ModelDemand,
+    Region,
+    efficiency_gain_to_trainer_watts,
+    power_breakdown,
+    schedule_balanced,
+    schedule_bin_packed,
+)
+from repro.common.units import GB, PB, to_pb
+from repro.tectonic import (
+    ProvisioningDemand,
+    hdd_node,
+    provision,
+    provision_tiered,
+    ssd_node,
+)
+from repro.workloads import ALL_MODELS, RM1, ZIONEX_TRAINER
+
+
+def power_study() -> None:
+    print("=== Figure 1: power split per model (16 ZionEX trainers) ===")
+    rows = []
+    for model in ALL_MODELS:
+        breakdown = power_breakdown(model, n_trainers=16)
+        shares = breakdown.shares()
+        rows.append([
+            model.name,
+            f"{breakdown.total_watts / 1e3:.0f} kW",
+            f"{100 * shares['storage']:.0f}%",
+            f"{100 * shares['preprocessing']:.0f}%",
+            f"{100 * shares['training']:.0f}%",
+        ])
+    print(render_table(["model", "total", "storage", "preproc", "training"], rows))
+    breakdown = power_breakdown(RM1, n_trainers=16)
+    freed = efficiency_gain_to_trainer_watts(breakdown, 2.59)
+    extra_trainers = freed / ZIONEX_TRAINER.total_watts
+    print(f"\na 2.59x DSI power reduction (Table 12's gains) frees "
+          f"{freed / 1e3:.1f} kW ≈ {extra_trainers:.1f} extra trainer nodes\n")
+
+
+def storage_study() -> None:
+    print("=== Section 7.2: storage provisioning and tiering (RM1) ===")
+    demand = ProvisioningDemand(
+        dataset_bytes=RM1.table_sizes.used_partitions,
+        read_bytes_per_s=60 * GB,
+        io_sizes=[23_200.0],  # Table 6's mean I/O size
+    )
+    hdd_plan = provision(demand, hdd_node())
+    print(f"all-HDD: {hdd_plan.nodes_required} nodes "
+          f"({hdd_plan.nodes_for_capacity} for capacity, "
+          f"{hdd_plan.nodes_for_iops} for IOPS) — "
+          f"throughput-to-storage gap {hdd_plan.throughput_to_storage_gap:.1f}x, "
+          f"{hdd_plan.total_watts / 1e3:.1f} kW")
+
+    # Size the hot tier from the measured popularity curve.
+    study = simulate_month_of_jobs(RM1, seed=0)
+    hot = study.bytes_fraction_for_traffic(0.8)
+    tiered = provision_tiered(demand, hdd_node(), ssd_node(),
+                              hot_fraction=hot, traffic_absorbed=0.8)
+    print(f"tiered:  hot {100 * hot:.0f}% of bytes on SSD absorbs 80% of I/O "
+          f"→ {tiered.ssd_plan.nodes_required} SSD + "
+          f"{tiered.hdd_plan.nodes_required} HDD nodes, "
+          f"{tiered.total_watts / 1e3:.1f} kW "
+          f"({100 * (1 - tiered.total_watts / hdd_plan.total_watts):.0f}% saved)\n")
+
+
+def scheduling_study() -> None:
+    print("=== Section 7.3: balanced vs bin-packed scheduling ===")
+    demands = [
+        ModelDemand(m.name, 300, m.table_sizes.all_partitions) for m in ALL_MODELS
+    ]
+    balanced = schedule_balanced(
+        demands, [Region(f"R{i}", 4_000, 300 * PB) for i in range(5)]
+    )
+    packed = schedule_bin_packed(
+        demands, [Region(f"R{i}", 4_000, 300 * PB) for i in range(5)]
+    )
+    print(f"balanced:  {balanced.total_dataset_copies} dataset copies, "
+          f"{to_pb(balanced.total_storage_bytes):.0f} PB replicated")
+    print(f"bin-packed: {packed.total_dataset_copies} dataset copies, "
+          f"{to_pb(packed.total_storage_bytes):.0f} PB replicated "
+          f"({100 * (1 - packed.total_storage_bytes / balanced.total_storage_bytes):.0f}% saved)")
+
+
+def main() -> None:
+    power_study()
+    storage_study()
+    scheduling_study()
+
+
+if __name__ == "__main__":
+    main()

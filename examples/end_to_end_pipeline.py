@@ -1,0 +1,112 @@
+"""End-to-end DSI walk-through: serving logs to trained batches.
+
+Follows Figure 3 left to right: a model-serving fleet logs features and
+outcome events through Scribe daemons into LogDevice-backed streams; a
+streaming joiner labels samples; a batch partitioner writes dated
+warehouse partitions; partitions are published as DWRF files in
+Tectonic; a DPP session preprocesses them; a trainer consumes tensors.
+Fault injection (worker crash + master failover) happens mid-session.
+
+Run:  python examples/end_to_end_pipeline.py
+"""
+
+from repro.datagen import (
+    EVENTS_CATEGORY,
+    FEATURES_CATEGORY,
+    BatchPartitioner,
+    Scribe,
+    ScribeDaemon,
+    ServingSimulator,
+    StreamingJoiner,
+)
+from repro.dpp import DppClient, DppSession, SessionSpec
+from repro.dwrf import EncodingOptions
+from repro.tectonic import TectonicFilesystem
+from repro.trainer import TrainingNode
+from repro.transforms import Bucketize, FirstX, NGram, SigridHash, TransformDag
+from repro.warehouse import DatasetProfile, SampleGenerator, Table, publish_table
+from repro.workloads import V100_TRAINER
+
+
+def main() -> None:
+    profile = DatasetProfile(n_dense=25, n_sparse=12, n_scored=2,
+                             avg_coverage=0.5, avg_sparse_length=8.0)
+    generator = SampleGenerator(profile, seed=1)
+    schema = generator.build_schema("prod_table")
+
+    # --- Offline data generation (Section 3.1) -------------------------
+    scribe = Scribe()
+    daemons = [ScribeDaemon(f"web{i:03d}", scribe) for i in range(3)]
+    for index, daemon in enumerate(daemons):
+        serving = ServingSimulator(schema, generator, daemon, seed=10 + index)
+        serving.serve_many(700, start_time=index * 0.1, rate_per_s=40)
+    print(f"scribe: {scribe.category(FEATURES_CATEGORY).head_lsn} feature logs, "
+          f"{scribe.category(EVENTS_CATEGORY).head_lsn} event logs")
+
+    joiner = StreamingJoiner(scribe, FEATURES_CATEGORY, EVENTS_CATEGORY)
+    joiner.run_once(now=1e6)
+    print(f"etl: joined {joiner.stats.joined}, "
+          f"expired unjoined {joiner.stats.expired_unjoined}")
+
+    table = Table(schema)
+    partitioner = BatchPartitioner(scribe, table, partition_period_s=15.0)
+    partitioner.run_once()
+    print(f"warehouse: {table.total_rows()} samples in partitions "
+          f"{table.partition_names()}")
+
+    # --- Storage (Section 3.1.2) ---------------------------------------
+    filesystem = TectonicFilesystem(n_nodes=6)
+    footers = publish_table(filesystem, table, EncodingOptions(stripe_rows=128))
+    print(f"tectonic: {len(filesystem.list_files())} DWRF files, "
+          f"{filesystem.logical_bytes():,} bytes")
+
+    # --- Online preprocessing (Section 3.2) -----------------------------
+    dense_ids = [s.feature_id for s in schema if s.name.startswith("dense_")][:3]
+    sparse_ids = [s.feature_id for s in schema
+                  if not s.name.startswith("dense_")][:3]
+    dag = TransformDag()
+    dag.add(500, Bucketize(dense_ids[0], [-1.0, 0.0, 1.0]))
+    dag.add(501, FirstX(sparse_ids[0], 8))
+    dag.add(502, NGram([500, 501], n=2))       # the Section 7.2 DAG shape
+    dag.add(503, SigridHash(502, 1_000_000))
+    spec = SessionSpec(
+        table_name=table.name,
+        partitions=tuple(table.partition_names()),
+        projection=frozenset(dense_ids + sparse_ids),
+        dag=dag,
+        output_ids=(503, dense_ids[1]),
+        batch_size=64,
+        coalesce_window=1_310_720,
+    )
+    session = DppSession(spec, filesystem, schema, footers, n_workers=3)
+
+    # Fault injection mid-session: one worker dies, the master fails
+    # over to its replica; the session must still deliver everything.
+    session.workers[0].process_one_split()
+    session.workers[0].fail()
+    session.master.fail_over()
+    print("faults: killed worker-0, failed master over to its replica")
+
+    report = session.pump()
+    print(f"dpp: {report.rows_processed} rows preprocessed "
+          f"(≥ {table.total_rows()} due to requeued split replay), "
+          f"{report.batches_delivered} batches, "
+          f"scaling events: {len(report.scaling_events)}")
+
+    # --- Training consumption -------------------------------------------
+    # pump() already drained to clients; run a fresh session for the
+    # trainer-facing path.
+    session2 = DppSession(spec, filesystem, schema, footers, n_workers=2)
+    for worker in session2.workers:
+        while worker.process_one_split():
+            pass
+    trainer = TrainingNode(
+        V100_TRAINER, DppClient("trainer", session2.workers, max_connections=2)
+    )
+    progress = trainer.train_until_exhausted()
+    print(f"trainer: {progress.steps} steps, {progress.samples} samples, "
+          f"{progress.bytes_ingested:,} bytes ingested")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,64 @@
+"""A tour of the Table 12 / Figure 10 storage co-design story.
+
+Walks the seven optimization stages on a real miniature RM1 dataset,
+printing what each stage changes physically: I/O counts, seeks,
+over-read fractions, and the resulting DPP and storage throughput.
+
+Run:  python examples/storage_optimization_tour.py   (takes ~1 minute)
+"""
+
+from repro.analysis import run_ablation
+from repro.analysis.report import render_table
+from repro.workloads import RM1, build_mini_dataset
+
+COMMENTARY = {
+    "Baseline": "regular map layout: whole rows read and decoded",
+    "+FF": "feature flattening: decode only projected features — but "
+           "storage reads shatter into per-feature streams",
+    "+FM": "in-memory flatmaps: decode straight to columnar batches, "
+           "skipping row materialization",
+    "+LO": "localized optimizations: LTO/AutoFDO-style overhead removal",
+    "+CR": "coalesced reads: merge streams within 1.25 MiB windows — "
+           "IOPS recover at the cost of over-read",
+    "+FR": "feature reordering: popular features written adjacently — "
+           "coalesced windows stop over-reading",
+    "+LS": "large stripes: more rows per stripe, fewer seeks per byte",
+}
+
+
+def main() -> None:
+    print("building miniature RM1 dataset (6000 rows)...")
+    dataset = build_mini_dataset(RM1, ["p0"], 6_000, seed=11)
+    print(f"  {len(dataset.schema)} features, "
+          f"{len(dataset.projection)} projected "
+          f"({dataset.pct_features_projected:.1f}%)\n")
+
+    result = run_ablation(dataset)
+    dpp = result.normalized_dpp()
+    storage = result.normalized_storage()
+
+    rows = []
+    for stage_result in result.results:
+        name = stage_result.stage.name
+        rows.append([
+            name,
+            stage_result.io_count,
+            stage_result.seeks,
+            f"{100 * stage_result.overread_fraction:.0f}%",
+            f"{dpp[name]:.2f}x",
+            f"{storage[name]:.2f}x",
+        ])
+    print(render_table(
+        ["stage", "I/Os", "seeks", "over-read", "DPP thpt", "storage thpt"],
+        rows,
+        title="Table 12 reproduction — progressive optimizations",
+    ))
+    print()
+    for name, text in COMMENTARY.items():
+        print(f"{name:9s} {text}")
+    print("\npaper:   DPP 1.00 → 2.00 → 2.30 → 2.94 (flat after);")
+    print("         storage 1.00 → 0.03 (FF) → 0.99 (CR) → 1.84 (FR) → 2.41 (LS)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,36 @@
+"""repro: a reproduction of Meta's data storage and ingestion (DSI)
+pipeline for large-scale deep recommendation model training.
+
+Zhao et al., "Understanding Data Storage and Ingestion for Large-Scale
+Deep Recommendation Model Training" (ISCA 2022).
+
+Subpackages
+-----------
+``common``     simulation kernel, units, statistics, resource models
+``warehouse``  Hive-like tables, schemas, feature lifecycle, generation
+``dwrf``       columnar file format with feature flattening
+``tectonic``   append-only distributed filesystem and media models
+``datagen``    Scribe/LogDevice messaging and ETL into the warehouse
+``transforms`` the Table-11 preprocessing operators and DAGs
+``dpp``        the disaggregated Data PreProcessing Service
+``trainer``    GPU demand, host loading tax, stall studies
+``cluster``    jobs, release process, regions, scheduling, power
+``workloads``  RM1/RM2/RM3 configurations and hardware specs
+``analysis``   the per-table / per-figure characterization harness
+"""
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "analysis",
+    "cluster",
+    "common",
+    "datagen",
+    "dpp",
+    "dwrf",
+    "tectonic",
+    "trainer",
+    "transforms",
+    "warehouse",
+    "workloads",
+]

@@ -1,0 +1,74 @@
+"""Characterization harness: one module per paper table/figure."""
+
+from .ablation import (
+    AblationResult,
+    AblationStage,
+    StageResult,
+    popularity_feature_order,
+    run_ablation,
+    run_stage,
+    stages,
+)
+from .feature_stats import (
+    RM1_LIFECYCLE_RATES,
+    LifecycleCounts,
+    ReadSelectivity,
+    measure_read_selectivity,
+    simulate_feature_lifecycle,
+)
+from .growth import GrowthDrivers, GrowthSeries, simulate_growth
+from .io_sizes import IoSizeStudy, measure_io_sizes
+from .popularity import PopularityStudy, byte_popularity_curve, simulate_month_of_jobs
+from .report import render_table
+from .whatif import (
+    GrowthImpact,
+    HostHeadroom,
+    project_demand_growth,
+    trainer_host_headroom,
+)
+from .throughput import (
+    Figure8Point,
+    Figure9Row,
+    Table8Row,
+    Table9Row,
+    figure8_sweep,
+    figure9_rows,
+    table8_rows,
+    table9_rows,
+)
+
+__all__ = [
+    "GrowthImpact",
+    "HostHeadroom",
+    "project_demand_growth",
+    "trainer_host_headroom",
+    "AblationResult",
+    "AblationStage",
+    "Figure8Point",
+    "Figure9Row",
+    "GrowthDrivers",
+    "GrowthSeries",
+    "IoSizeStudy",
+    "LifecycleCounts",
+    "PopularityStudy",
+    "RM1_LIFECYCLE_RATES",
+    "ReadSelectivity",
+    "StageResult",
+    "Table8Row",
+    "Table9Row",
+    "byte_popularity_curve",
+    "figure8_sweep",
+    "figure9_rows",
+    "measure_io_sizes",
+    "measure_read_selectivity",
+    "popularity_feature_order",
+    "render_table",
+    "run_ablation",
+    "run_stage",
+    "simulate_feature_lifecycle",
+    "simulate_growth",
+    "simulate_month_of_jobs",
+    "stages",
+    "table8_rows",
+    "table9_rows",
+]

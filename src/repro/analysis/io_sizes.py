@@ -1,0 +1,57 @@
+"""Table 6: the I/O size distribution of a filtering training job.
+
+Heavy column filtering over flattened DWRF files produces small,
+scattered reads ("relatively-small contiguous regions for read
+features", Section 5.1).  This study writes a miniature RM-shaped table,
+reads it with a representative projection and *no* coalescing (Table 6
+predates the coalesced-read optimization), and summarizes the physical
+I/O sizes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..common.stats import DistributionSummary
+from ..dwrf.layout import EncodingOptions
+from ..dwrf.reader import DwrfReader, IOTrace, ReadOptions
+from ..tectonic.filesystem import TectonicFilesystem
+from ..warehouse.publish import partition_file_name, publish_table
+from ..workloads.datasets import MiniDataset
+
+
+@dataclass(frozen=True)
+class IoSizeStudy:
+    """Measured I/O size distribution plus its trace."""
+
+    summary: DistributionSummary
+    trace: IOTrace
+
+    @property
+    def skew(self) -> float:
+        """Mean / median — Table 6 shows a heavy right skew (≈19×)."""
+        return self.summary.mean / self.summary.p50
+
+
+def measure_io_sizes(
+    dataset: MiniDataset,
+    stripe_rows: int = 2048,
+    coalesce_window: int = 0,
+) -> IoSizeStudy:
+    """Publish the dataset and trace a projection read over it."""
+    filesystem = TectonicFilesystem(n_nodes=6)
+    footers = publish_table(
+        filesystem, dataset.table, EncodingOptions(stripe_rows=stripe_rows)
+    )
+    trace = IOTrace()
+    for partition, footer in footers.items():
+        path = partition_file_name(dataset.table.name, partition)
+        reader = DwrfReader(
+            footer,
+            filesystem.fetcher(path),
+            ReadOptions(projection=dataset.projection, coalesce_window=coalesce_window),
+            trace=trace,
+        )
+        for index in range(len(footer.stripes)):
+            reader.read_stripe(index, dataset.schema)
+    return IoSizeStudy(summary=trace.size_summary(), trace=trace)

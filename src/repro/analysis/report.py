@@ -1,0 +1,33 @@
+"""Plain-text table rendering for benchmark and example output."""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+
+def render_table(
+    headers: Sequence[str], rows: Sequence[Sequence[Any]], title: str | None = None
+) -> str:
+    """Render rows as an aligned monospace table.
+
+    Floats print with three significant decimals; everything else with
+    ``str``.  Used by benches to print paper-style tables.
+    """
+    def fmt(value: Any) -> str:
+        if isinstance(value, float):
+            return f"{value:.3f}"
+        return str(value)
+
+    text_rows = [[fmt(v) for v in row] for row in rows]
+    widths = [
+        max(len(headers[i]), *(len(row[i]) for row in text_rows)) if text_rows else len(headers[i])
+        for i in range(len(headers))
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in text_rows:
+        lines.append("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+    return "\n".join(lines)

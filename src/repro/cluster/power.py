@@ -1,0 +1,115 @@
+"""The DSI power model behind Figure 1 and Section 7.5.
+
+For a fleet of trainer nodes running one model, total power splits into:
+
+* **training** — the trainer nodes themselves (GPUs + host);
+* **preprocessing** — the DPP worker fleet right-sized to feed them
+  (Table 9's workers-per-trainer × worker node power);
+* **storage** — the share of storage nodes provisioned for this model,
+  where node count is driven by max(capacity, IOPS) (Section 7.1's
+  throughput-to-storage gap).
+
+Figure 1's message — DSI can consume more power than training, and the
+split varies widely across models — emerges from the per-model
+constants rather than being asserted.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..common.errors import ConfigError
+from ..dpp.analytical import per_sample_cost, worker_throughput, workers_per_trainer
+from ..tectonic.cluster import ProvisioningDemand, provision
+from ..tectonic.media import MediaModel, hdd_node
+from ..workloads.hardware import ComputeNodeSpec, TrainerNodeSpec, C_V1, ZIONEX_TRAINER
+from ..workloads.models import ModelConfig
+
+
+@dataclass(frozen=True)
+class PowerBreakdown:
+    """Watts by pipeline stage for one model's training fleet."""
+
+    model: ModelConfig
+    storage_watts: float
+    preprocessing_watts: float
+    training_watts: float
+
+    @property
+    def total_watts(self) -> float:
+        """Fleet power across all three stages."""
+        return self.storage_watts + self.preprocessing_watts + self.training_watts
+
+    def shares(self) -> dict[str, float]:
+        """Fractional split (the Figure 1 bars)."""
+        total = self.total_watts
+        return {
+            "storage": self.storage_watts / total,
+            "preprocessing": self.preprocessing_watts / total,
+            "training": self.training_watts / total,
+        }
+
+    @property
+    def dsi_share(self) -> float:
+        """Fraction of power spent outside the trainers."""
+        return 1.0 - self.training_watts / self.total_watts
+
+
+def power_breakdown(
+    model: ModelConfig,
+    n_trainers: int = 16,
+    trainer: TrainerNodeSpec = ZIONEX_TRAINER,
+    worker_node: ComputeNodeSpec = C_V1,
+    storage_media: MediaModel | None = None,
+    io_sizes: list[float] | None = None,
+) -> PowerBreakdown:
+    """Compute the Figure 1 split for *n_trainers* nodes of one model."""
+    if n_trainers <= 0:
+        raise ConfigError("need at least one trainer")
+    media = storage_media or hdd_node()
+    # Representative physical I/O sizes after coalescing: ~1.25 MiB
+    # unless the caller provides a measured distribution (Table 6).
+    sizes = io_sizes or [1.25 * (1 << 20)]
+
+    training_watts = n_trainers * trainer.total_watts
+
+    n_workers = workers_per_trainer(model, worker_node) * n_trainers
+    preprocessing_watts = n_workers * worker_node.watts
+
+    # Storage demand: the workers' aggregate compressed read rate.
+    throughput = worker_throughput(model, worker_node)
+    read_rate = n_workers * throughput.qps * per_sample_cost(model).storage_rx_bytes
+    plan = provision(
+        ProvisioningDemand(
+            dataset_bytes=model.table_sizes.used_partitions,
+            read_bytes_per_s=read_rate,
+            io_sizes=sizes,
+        ),
+        media,
+    )
+    # Attribute storage power by this job's share of the provisioned
+    # nodes' IOPS rather than the whole fleet (datasets are shared
+    # across jobs; power follows usage).
+    storage_watts = plan.nodes_for_iops * media.watts
+
+    return PowerBreakdown(
+        model=model,
+        storage_watts=storage_watts,
+        preprocessing_watts=preprocessing_watts,
+        training_watts=training_watts,
+    )
+
+
+def efficiency_gain_to_trainer_watts(
+    before: PowerBreakdown, dsi_power_reduction: float
+) -> float:
+    """Trainer nodes' worth of power freed by a DSI efficiency gain.
+
+    Section 7.5: a 2.59× reduction in DSI power requirements lets the
+    datacenter host more trainers at fixed power.  Returns the freed
+    watts.
+    """
+    if dsi_power_reduction <= 1:
+        raise ConfigError("reduction factor must exceed 1")
+    dsi_watts = before.storage_watts + before.preprocessing_watts
+    return dsi_watts * (1.0 - 1.0 / dsi_power_reduction)

@@ -1,0 +1,63 @@
+"""Regions and datacenters: where training and datasets live.
+
+Section 4.2: the fleet spans global regions, each with multiple
+datacenters; cross-region bandwidth is highly constrained, so DSI
+resources must be co-located with trainers and every region running a
+model needs a copy of its dataset.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..common.errors import SchedulingError
+
+
+@dataclass
+class Region:
+    """One global region's training and storage capacity."""
+
+    name: str
+    trainer_capacity: float  # trainer nodes available
+    storage_capacity_bytes: float
+
+    datasets: set[str] = field(default_factory=set)
+    dataset_bytes: dict[str, float] = field(default_factory=dict)
+    placed_demand: dict[str, float] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.trainer_capacity <= 0 or self.storage_capacity_bytes <= 0:
+            raise SchedulingError("region capacities must be positive")
+
+    @property
+    def used_storage_bytes(self) -> float:
+        """Storage consumed by replicated datasets."""
+        return sum(self.dataset_bytes.values())
+
+    @property
+    def placed_total(self) -> float:
+        """Trainer nodes of demand placed here."""
+        return sum(self.placed_demand.values())
+
+    def host_dataset(self, model_name: str, n_bytes: float) -> None:
+        """Replicate a model's dataset into this region."""
+        if model_name in self.datasets:
+            return
+        if self.used_storage_bytes + n_bytes > self.storage_capacity_bytes:
+            raise SchedulingError(
+                f"region {self.name} lacks storage for {model_name}'s dataset"
+            )
+        self.datasets.add(model_name)
+        self.dataset_bytes[model_name] = n_bytes
+
+    def place_demand(self, model_name: str, nodes: float) -> None:
+        """Assign training demand; requires the dataset to be local."""
+        if model_name not in self.datasets:
+            raise SchedulingError(
+                f"model {model_name} has no dataset copy in region {self.name}"
+            )
+        if self.placed_total + nodes > self.trainer_capacity:
+            raise SchedulingError(
+                f"region {self.name} over capacity placing {model_name}"
+            )
+        self.placed_demand[model_name] = self.placed_demand.get(model_name, 0.0) + nodes

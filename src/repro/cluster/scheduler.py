@@ -1,0 +1,107 @@
+"""Global training-job scheduling across regions.
+
+Two policies bracket Section 4.2's observation and Section 7.3's
+opportunity:
+
+* :func:`schedule_balanced` — today's behaviour: "our global scheduler
+  currently balances training jobs for each model across regions,
+  requiring each region to contain a copy of all models' datasets."
+* :func:`schedule_bin_packed` — the proposed optimization: concentrate
+  each model in as few regions as its peak demand allows, reducing
+  dataset replication, "with care to ensure data availability for each
+  model as its peak compute demand can exceed regional capacity."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..common.errors import SchedulingError
+from .region import Region
+
+
+@dataclass(frozen=True)
+class ModelDemand:
+    """One model's global needs."""
+
+    model_name: str
+    peak_trainer_nodes: float
+    dataset_bytes: float
+
+
+@dataclass
+class ScheduleOutcome:
+    """Result of one scheduling policy run."""
+
+    placements: dict[str, dict[str, float]]  # model -> region -> nodes
+    total_dataset_copies: int
+    total_storage_bytes: float
+
+    def demand_matrix(self, models: list[str], regions: list[str]) -> list[list[float]]:
+        """Figure 6's matrix: rows = models, columns = regions."""
+        return [
+            [self.placements.get(model, {}).get(region, 0.0) for region in regions]
+            for model in models
+        ]
+
+
+def schedule_balanced(
+    demands: list[ModelDemand], regions: list[Region]
+) -> ScheduleOutcome:
+    """Spread every model evenly over all regions (today's policy)."""
+    if not regions:
+        raise SchedulingError("no regions to schedule into")
+    placements: dict[str, dict[str, float]] = {}
+    for demand in demands:
+        share = demand.peak_trainer_nodes / len(regions)
+        placements[demand.model_name] = {}
+        for region in regions:
+            region.host_dataset(demand.model_name, demand.dataset_bytes)
+            region.place_demand(demand.model_name, share)
+            placements[demand.model_name][region.name] = share
+    return _outcome(placements, regions)
+
+
+def schedule_bin_packed(
+    demands: list[ModelDemand], regions: list[Region]
+) -> ScheduleOutcome:
+    """Concentrate each model into the fewest regions that fit it.
+
+    Models are placed largest-first; each takes the least-loaded
+    regions until its demand is covered, replicating its dataset only
+    where it runs.
+    """
+    if not regions:
+        raise SchedulingError("no regions to schedule into")
+    placements: dict[str, dict[str, float]] = {}
+    for demand in sorted(demands, key=lambda d: d.peak_trainer_nodes, reverse=True):
+        remaining = demand.peak_trainer_nodes
+        placements[demand.model_name] = {}
+        # Greedy: fill regions with the most free trainer capacity.
+        for region in sorted(
+            regions, key=lambda r: r.trainer_capacity - r.placed_total, reverse=True
+        ):
+            free = region.trainer_capacity - region.placed_total
+            if free <= 0:
+                continue
+            take = min(free, remaining)
+            region.host_dataset(demand.model_name, demand.dataset_bytes)
+            region.place_demand(demand.model_name, take)
+            placements[demand.model_name][region.name] = take
+            remaining -= take
+            if remaining <= 1e-9:
+                break
+        if remaining > 1e-9:
+            raise SchedulingError(
+                f"insufficient global capacity for {demand.model_name}: "
+                f"{remaining:.1f} nodes unplaced"
+            )
+    return _outcome(placements, regions)
+
+
+def _outcome(
+    placements: dict[str, dict[str, float]], regions: list[Region]
+) -> ScheduleOutcome:
+    copies = sum(len(region.datasets) for region in regions)
+    storage = sum(region.used_storage_bytes for region in regions)
+    return ScheduleOutcome(placements, copies, storage)

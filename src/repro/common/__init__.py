@@ -1,0 +1,51 @@
+"""Shared utilities: units, statistics, simulation kernel, resources."""
+
+from .errors import (
+    CapacityError,
+    ConfigError,
+    DppError,
+    FormatError,
+    ReproError,
+    SchedulingError,
+    SchemaError,
+    StorageError,
+    TransformError,
+    WorkerFailure,
+)
+from .resources import HostModel, ResourceSpec, ResourceUsage, UtilizationReport
+from .simclock import EventHandle, SimClock
+from .stats import (
+    CdfPoint,
+    DistributionSummary,
+    fraction_of_items_for_traffic,
+    gini,
+    popularity_cdf,
+    summarize,
+    zipf_weights,
+)
+
+__all__ = [
+    "CapacityError",
+    "CdfPoint",
+    "ConfigError",
+    "DistributionSummary",
+    "DppError",
+    "EventHandle",
+    "FormatError",
+    "HostModel",
+    "ReproError",
+    "ResourceSpec",
+    "ResourceUsage",
+    "SchedulingError",
+    "SchemaError",
+    "SimClock",
+    "StorageError",
+    "TransformError",
+    "UtilizationReport",
+    "WorkerFailure",
+    "fraction_of_items_for_traffic",
+    "gini",
+    "popularity_cdf",
+    "summarize",
+    "zipf_weights",
+]

@@ -1,0 +1,47 @@
+"""Exception hierarchy shared across the library.
+
+Every package raises subclasses of :class:`ReproError` so callers can
+catch library failures without also swallowing programming errors.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class SchemaError(ReproError):
+    """A table schema or feature specification is invalid."""
+
+
+class StorageError(ReproError):
+    """A storage-layer operation failed (filesystem, blocks, media)."""
+
+
+class FormatError(ReproError):
+    """A DWRF file is malformed or was read inconsistently."""
+
+
+class CapacityError(StorageError):
+    """A placement or write exceeded available capacity."""
+
+
+class TransformError(ReproError):
+    """A preprocessing transform was misconfigured or failed."""
+
+
+class DppError(ReproError):
+    """A DPP control- or data-plane operation failed."""
+
+
+class WorkerFailure(DppError):
+    """A DPP worker died; raised internally and handled by the master."""
+
+
+class SchedulingError(ReproError):
+    """The global scheduler could not place a job or dataset."""
+
+
+class ConfigError(ReproError):
+    """A workload or hardware configuration is inconsistent."""

@@ -1,0 +1,124 @@
+"""A small discrete-event simulation kernel.
+
+Several parts of the library (the DPP auto-scaler, the storage cluster,
+the fleet utilization traces) need to advance virtual time and run
+callbacks in timestamp order.  This kernel is deliberately minimal: an
+event heap keyed by ``(time, sequence)`` with deterministic FIFO
+tie-breaking, plus a handful of conveniences for periodic processes.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable
+
+EventCallback = Callable[[], None]
+
+
+@dataclass(order=True)
+class _ScheduledEvent:
+    time: float
+    seq: int
+    callback: EventCallback = field(compare=False)
+    cancelled: bool = field(compare=False, default=False)
+
+
+class EventHandle:
+    """Handle returned by :meth:`SimClock.schedule`, usable to cancel."""
+
+    def __init__(self, event: _ScheduledEvent) -> None:
+        self._event = event
+
+    def cancel(self) -> None:
+        """Prevent the event from firing if it has not fired yet."""
+        self._event.cancelled = True
+
+    @property
+    def time(self) -> float:
+        """The virtual time the event is scheduled for."""
+        return self._event.time
+
+
+class SimClock:
+    """Discrete-event clock with deterministic execution order."""
+
+    def __init__(self, start: float = 0.0) -> None:
+        self._now = start
+        self._heap: list[_ScheduledEvent] = []
+        self._seq = itertools.count()
+
+    @property
+    def now(self) -> float:
+        """Current virtual time in seconds."""
+        return self._now
+
+    def schedule(self, delay: float, callback: EventCallback) -> EventHandle:
+        """Run *callback* after *delay* seconds of virtual time."""
+        if delay < 0:
+            raise ValueError("cannot schedule events in the past")
+        event = _ScheduledEvent(self._now + delay, next(self._seq), callback)
+        heapq.heappush(self._heap, event)
+        return EventHandle(event)
+
+    def schedule_at(self, when: float, callback: EventCallback) -> EventHandle:
+        """Run *callback* at absolute virtual time *when*."""
+        return self.schedule(when - self._now, callback)
+
+    def every(self, interval: float, callback: EventCallback, *, until: float | None = None) -> None:
+        """Run *callback* every *interval* seconds, optionally until *until*.
+
+        The callback runs first at ``now + interval``.  Periodic events
+        reschedule themselves after each firing, so a callback that
+        raises stops its own recurrence.
+        """
+        if interval <= 0:
+            raise ValueError("interval must be positive")
+
+        def tick() -> None:
+            callback()
+            next_time = self._now + interval
+            if until is None or next_time <= until:
+                self.schedule(interval, tick)
+
+        first = self._now + interval
+        if until is None or first <= until:
+            self.schedule(interval, tick)
+
+    def step(self) -> bool:
+        """Fire the next pending event.  Returns False if none remain."""
+        while self._heap:
+            event = heapq.heappop(self._heap)
+            if event.cancelled:
+                continue
+            self._now = event.time
+            event.callback()
+            return True
+        return False
+
+    def run_until(self, deadline: float) -> None:
+        """Fire events in order until virtual time reaches *deadline*."""
+        while self._heap:
+            event = self._heap[0]
+            if event.time > deadline:
+                break
+            self.step()
+        self._now = max(self._now, deadline)
+
+    def run(self, max_events: int = 1_000_000) -> int:
+        """Drain the event queue; returns the number of events fired.
+
+        *max_events* guards against runaway self-rescheduling processes.
+        """
+        fired = 0
+        while fired < max_events and self.step():
+            fired += 1
+        if fired >= max_events and self._heap:
+            raise RuntimeError(f"simulation exceeded {max_events} events")
+        return fired
+
+    @property
+    def pending(self) -> int:
+        """Number of scheduled (uncancelled) events still in the queue."""
+        return sum(1 for event in self._heap if not event.cancelled)

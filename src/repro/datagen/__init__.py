@@ -1,0 +1,26 @@
+"""Offline data generation: Scribe, LogDevice, serving logs, ETL."""
+
+from .etl import LABELED_CATEGORY, BatchPartitioner, JoinStats, StreamingJoiner
+from .events import EventLog, FeatureLog, label_from_event
+from .logdevice import Log, LogDevice, LogRecord
+from .scribe import Scribe, ScribeCategory, ScribeDaemon
+from .serving import EVENTS_CATEGORY, FEATURES_CATEGORY, ServingSimulator
+
+__all__ = [
+    "BatchPartitioner",
+    "EVENTS_CATEGORY",
+    "EventLog",
+    "FEATURES_CATEGORY",
+    "FeatureLog",
+    "JoinStats",
+    "LABELED_CATEGORY",
+    "Log",
+    "LogDevice",
+    "LogRecord",
+    "Scribe",
+    "ScribeCategory",
+    "ScribeDaemon",
+    "ServingSimulator",
+    "StreamingJoiner",
+    "label_from_event",
+]

@@ -1,0 +1,36 @@
+"""Raw serving-time records: feature logs and event logs.
+
+Section 3.1: "features and events are logged at serving time to avoid
+data leakage between model serving and training."  A feature log holds
+the inputs a model saw for one (user, item) evaluation; an event log
+holds the observed outcome, joined later by ETL on the request ID.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class FeatureLog:
+    """Features generated for one recommendation request."""
+
+    request_id: int
+    timestamp: float
+    dense: dict[int, float] = field(default_factory=dict)
+    sparse: dict[int, tuple[int, ...]] = field(default_factory=dict)
+    scores: dict[int, tuple[float, ...]] = field(default_factory=dict)
+
+
+@dataclass(frozen=True)
+class EventLog:
+    """The monitored outcome of one recommendation."""
+
+    request_id: int
+    timestamp: float
+    engaged: bool  # did the user interact with the recommendation?
+
+
+def label_from_event(event: EventLog) -> float:
+    """Map an outcome event to a training label."""
+    return 1.0 if event.engaged else 0.0

@@ -1,0 +1,100 @@
+"""LogDevice: a reliable store for append-only, trimmable record logs.
+
+Scribe stores each logical stream in LogDevice (Section 3.1.1).  Logs
+assign monotonically increasing sequence numbers (LSNs) on append,
+support tailing from any LSN, and can be trimmed from the front once
+downstream consumers have checkpointed past a prefix.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Any, Iterator
+
+from ..common.errors import StorageError
+
+
+@dataclass(frozen=True)
+class LogRecord:
+    """One appended record with its sequence number."""
+
+    lsn: int
+    payload: Any
+
+
+class Log:
+    """A single append-only, trimmable log."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._records: OrderedDict[int, Any] = OrderedDict()
+        self._next_lsn = 0
+        self._trim_point = 0  # records below this LSN are gone
+
+    def append(self, payload: Any) -> int:
+        """Append a record; returns its LSN."""
+        lsn = self._next_lsn
+        self._records[lsn] = payload
+        self._next_lsn += 1
+        return lsn
+
+    def read_from(self, lsn: int, limit: int | None = None) -> list[LogRecord]:
+        """Read records with sequence number ≥ *lsn* in order."""
+        if lsn < self._trim_point:
+            raise StorageError(
+                f"log {self.name}: LSN {lsn} is below trim point {self._trim_point}"
+            )
+        out = []
+        for record_lsn, payload in self._records.items():
+            if record_lsn >= lsn:
+                out.append(LogRecord(record_lsn, payload))
+                if limit is not None and len(out) >= limit:
+                    break
+        return out
+
+    def tail(self, from_lsn: int) -> Iterator[LogRecord]:
+        """Iterate records from *from_lsn* to the current end."""
+        yield from self.read_from(from_lsn)
+
+    def trim(self, up_to_lsn: int) -> int:
+        """Drop records below *up_to_lsn*; returns how many were dropped."""
+        if up_to_lsn > self._next_lsn:
+            raise StorageError("cannot trim beyond the log head")
+        dropped = 0
+        for lsn in list(self._records):
+            if lsn < up_to_lsn:
+                del self._records[lsn]
+                dropped += 1
+        self._trim_point = max(self._trim_point, up_to_lsn)
+        return dropped
+
+    @property
+    def head_lsn(self) -> int:
+        """LSN the next append will receive."""
+        return self._next_lsn
+
+    @property
+    def trim_point(self) -> int:
+        """Lowest readable LSN."""
+        return self._trim_point
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+
+class LogDevice:
+    """A namespace of logs."""
+
+    def __init__(self) -> None:
+        self._logs: dict[str, Log] = {}
+
+    def log(self, name: str) -> Log:
+        """Get or create a log."""
+        if name not in self._logs:
+            self._logs[name] = Log(name)
+        return self._logs[name]
+
+    def log_names(self) -> list[str]:
+        """All existing log names."""
+        return sorted(self._logs)

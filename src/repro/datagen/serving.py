@@ -1,0 +1,88 @@
+"""The model-serving framework's logging side.
+
+Fresh training samples begin life at serving time: a service evaluates
+a (user, item) pair, logs the generated features, and later logs the
+observed outcome event (Section 3.1).  This module generates that raw
+traffic synthetically, with engagement probability linked to features
+so downstream models have real signal.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..warehouse.generator import SampleGenerator
+from ..warehouse.schema import TableSchema
+from .events import EventLog, FeatureLog
+from .scribe import ScribeDaemon
+
+FEATURES_CATEGORY = "features"
+EVENTS_CATEGORY = "events"
+
+
+class ServingSimulator:
+    """Synthesizes serving-time feature and event logs.
+
+    Reuses the warehouse sample generator for feature statistics; the
+    outcome event is Bernoulli with a rate modulated by the first dense
+    feature, giving labels genuine feature dependence.
+    """
+
+    def __init__(
+        self,
+        schema: TableSchema,
+        generator: SampleGenerator,
+        daemon: ScribeDaemon,
+        engagement_rate: float = 0.3,
+        event_loss_rate: float = 0.02,
+        seed: int = 0,
+        request_id_base: int | None = None,
+    ) -> None:
+        self.schema = schema
+        self._generator = generator
+        self._daemon = daemon
+        self._engagement_rate = engagement_rate
+        self._event_loss_rate = event_loss_rate
+        self._rng = np.random.default_rng(seed)
+        # Request IDs must be globally unique across serving hosts or
+        # the downstream join silently mismatches; derive a disjoint
+        # range from the daemon's host name unless given explicitly.
+        if request_id_base is None:
+            request_id_base = (hash(daemon.host) & 0xFFFF) << 32
+        self._next_request_id = request_id_base
+
+    def serve_one(self, timestamp: float) -> int:
+        """Handle one recommendation request; returns its request ID.
+
+        Logs the feature record always; the outcome event is dropped
+        with a small probability (clients navigate away, loggers fail),
+        which is why ETL joins are lossy in production.
+        """
+        request_id = self._next_request_id
+        self._next_request_id += 1
+        row = self._generator.generate_row(self.schema)
+        features = FeatureLog(
+            request_id=request_id,
+            timestamp=timestamp,
+            dense=dict(row.dense),
+            sparse={fid: tuple(ids) for fid, ids in row.sparse.items()},
+            scores={fid: tuple(ws) for fid, ws in row.scores.items()},
+        )
+        self._daemon.log(FEATURES_CATEGORY, features)
+
+        if self._rng.random() >= self._event_loss_rate:
+            signal = next(iter(row.dense.values()), 0.0)
+            p = float(np.clip(self._engagement_rate + 0.1 * signal, 0.01, 0.99))
+            event = EventLog(
+                request_id=request_id,
+                timestamp=timestamp + float(self._rng.exponential(30.0)),
+                engaged=bool(self._rng.random() < p),
+            )
+            self._daemon.log(EVENTS_CATEGORY, event)
+        return request_id
+
+    def serve_many(self, n: int, start_time: float = 0.0, rate_per_s: float = 100.0) -> None:
+        """Serve *n* requests at a fixed rate, then flush the daemon."""
+        for i in range(n):
+            self.serve_one(start_time + i / rate_per_s)
+        self._daemon.flush()

@@ -1,0 +1,120 @@
+"""The auto-scaling controller of the DPP Master.
+
+Section 3.2.1: the controller "collects utilization (CPU, memory, and
+network) statistics and the number of buffered tensors from each DPP
+Worker.  It then periodically evaluates scaling decisions, calculating
+the number of DPP Workers to either drain or launch with the goal of
+maintaining a non-zero number of buffered tensors ... and maximum CPU,
+network, and memory utilization."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..common.errors import DppError
+
+
+@dataclass(frozen=True)
+class WorkerTelemetry:
+    """One worker's report to the controller."""
+
+    worker_id: str
+    buffered_batches: int
+    cpu_utilization: float
+    memory_utilization: float
+    network_utilization: float
+
+    @property
+    def max_utilization(self) -> float:
+        """Highest of the three resource utilizations."""
+        return max(self.cpu_utilization, self.memory_utilization, self.network_utilization)
+
+
+@dataclass(frozen=True)
+class AutoscalerConfig:
+    """Controller policy knobs.
+
+    The controller scales *up* when buffers run dry (trainers are about
+    to stall) and *drains* workers when buffers are comfortably full
+    while the fleet runs underutilized (wasted capacity).
+    """
+
+    min_buffered_per_worker: float = 1.0
+    drain_buffered_per_worker: float = 6.0
+    low_utilization: float = 0.5
+    scale_up_step: int = 2
+    drain_step: int = 1
+    min_workers: int = 1
+    max_workers: int = 1_000
+
+    def __post_init__(self) -> None:
+        if self.min_buffered_per_worker < 0:
+            raise DppError("min_buffered_per_worker cannot be negative")
+        if self.drain_buffered_per_worker <= self.min_buffered_per_worker:
+            raise DppError("drain threshold must exceed the scale-up threshold")
+        if not 0 < self.low_utilization < 1:
+            raise DppError("low_utilization must be in (0, 1)")
+        if self.min_workers < 1 or self.max_workers < self.min_workers:
+            raise DppError("invalid worker count bounds")
+        if self.scale_up_step < 1 or self.drain_step < 1:
+            raise DppError("steps must be at least 1")
+
+
+@dataclass(frozen=True)
+class ScalingDecision:
+    """Outcome of one controller evaluation."""
+
+    delta: int  # >0 launch, <0 drain, 0 hold
+    reason: str
+
+    @property
+    def action(self) -> str:
+        """'launch', 'drain', or 'hold'."""
+        if self.delta > 0:
+            return "launch"
+        if self.delta < 0:
+            return "drain"
+        return "hold"
+
+
+class AutoscalingController:
+    """Evaluates worker telemetry into launch/drain decisions."""
+
+    def __init__(self, config: AutoscalerConfig | None = None) -> None:
+        self.config = config or AutoscalerConfig()
+        self.decisions: list[ScalingDecision] = []
+
+    def evaluate(self, telemetry: list[WorkerTelemetry]) -> ScalingDecision:
+        """One control-loop iteration over the fleet's reports."""
+        if not telemetry:
+            decision = ScalingDecision(self.config.scale_up_step, "no live workers")
+            self.decisions.append(decision)
+            return decision
+        config = self.config
+        n = len(telemetry)
+        buffered_per_worker = sum(t.buffered_batches for t in telemetry) / n
+        mean_utilization = sum(t.max_utilization for t in telemetry) / n
+
+        if buffered_per_worker < config.min_buffered_per_worker:
+            headroom = config.max_workers - n
+            delta = min(config.scale_up_step, headroom)
+            decision = ScalingDecision(
+                delta,
+                f"buffers low ({buffered_per_worker:.2f}/worker): trainers at risk of stalls",
+            )
+        elif (
+            buffered_per_worker > config.drain_buffered_per_worker
+            and mean_utilization < config.low_utilization
+            and n > config.min_workers
+        ):
+            drainable = n - config.min_workers
+            decision = ScalingDecision(
+                -min(config.drain_step, drainable),
+                f"buffers full ({buffered_per_worker:.2f}/worker) and fleet "
+                f"underutilized ({mean_utilization:.0%})",
+            )
+        else:
+            decision = ScalingDecision(0, "buffers and utilization in band")
+        self.decisions.append(decision)
+        return decision

@@ -1,0 +1,243 @@
+"""The DPP Master: work distribution, fault tolerance, checkpointing.
+
+The control plane of DPP (Section 3.2.1).  The master serves splits to
+workers on request, tracks progress, periodically checkpoints reader
+state, detects failed workers and requeues their in-flight splits
+(workers are stateless, so no worker-side restore is needed), and is
+itself replicated to avoid a single point of failure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..common.errors import DppError
+from ..dwrf.layout import FileFooter
+from .spec import SessionSpec
+from .split import Split, SplitState, plan_splits
+
+
+@dataclass(frozen=True)
+class MasterCheckpoint:
+    """Durable snapshot of reader state: which splits completed."""
+
+    session_table: str
+    completed_split_ids: frozenset[int]
+
+
+@dataclass
+class _SplitRecord:
+    split: Split
+    state: SplitState = SplitState.PENDING
+    assigned_to: str | None = None
+
+
+def _sample_splits(splits: list[Split], rate: float) -> list[Split]:
+    """Deterministic split-level row sampling (pushdown).
+
+    Splits are kept by a hash of their identity, so the sample is
+    stable across master restarts and replicas — a requirement for
+    exactly-once epoch semantics under failover.  At least one split
+    always survives.
+    """
+    kept = [
+        split
+        for split in splits
+        if (hash((split.file_name, split.stripe_start)) & 0xFFFF) / 0x10000 < rate
+    ]
+    return kept or splits[:1]
+
+
+class DppMaster:
+    """Serves splits, tracks progress, and survives worker failures."""
+
+    def __init__(self, spec: SessionSpec, files: dict[str, FileFooter]) -> None:
+        expected = set(spec.partitions)
+        missing = expected - set(files)
+        if missing:
+            raise DppError(f"files missing for partitions: {sorted(missing)}")
+        self.spec = spec
+        splits = plan_splits(
+            {name: files[name] for name in spec.partitions}, spec.split_stripes
+        )
+        if spec.row_sample_rate < 1.0:
+            splits = _sample_splits(splits, spec.row_sample_rate)
+        self._records: dict[int, _SplitRecord] = {
+            split.split_id: _SplitRecord(split) for split in splits
+        }
+        self._registered_workers: set[str] = set()
+
+    # -- worker membership ---------------------------------------------------
+
+    def register_worker(self, worker_id: str) -> None:
+        """Admit a worker into the session."""
+        self._registered_workers.add(worker_id)
+
+    def worker_failed(self, worker_id: str) -> list[int]:
+        """Handle a worker death: requeue its in-flight splits.
+
+        Returns the requeued split IDs.  Because workers are stateless,
+        recovery is exactly this requeue — no checkpoint restore.
+        """
+        self._registered_workers.discard(worker_id)
+        requeued = []
+        for record in self._records.values():
+            if record.state is SplitState.ASSIGNED and record.assigned_to == worker_id:
+                record.state = SplitState.PENDING
+                record.assigned_to = None
+                requeued.append(record.split.split_id)
+        return requeued
+
+    @property
+    def workers(self) -> set[str]:
+        """Currently registered workers."""
+        return set(self._registered_workers)
+
+    # -- split protocol --------------------------------------------------------
+
+    def request_split(self, worker_id: str) -> Split | None:
+        """Hand the next pending split to *worker_id*; None when drained."""
+        if worker_id not in self._registered_workers:
+            raise DppError(f"unregistered worker {worker_id!r} requested a split")
+        for record in self._records.values():
+            if record.state is SplitState.PENDING:
+                record.state = SplitState.ASSIGNED
+                record.assigned_to = worker_id
+                return record.split
+        return None
+
+    def complete_split(self, worker_id: str, split_id: int) -> None:
+        """Mark a split finished by the worker that owned it."""
+        record = self._record(split_id)
+        if record.state is not SplitState.ASSIGNED or record.assigned_to != worker_id:
+            raise DppError(
+                f"split {split_id} not assigned to worker {worker_id!r}"
+            )
+        record.state = SplitState.COMPLETED
+        record.assigned_to = None
+
+    def _record(self, split_id: int) -> _SplitRecord:
+        try:
+            return self._records[split_id]
+        except KeyError:
+            raise DppError(f"unknown split {split_id}") from None
+
+    # -- progress ---------------------------------------------------------------
+
+    @property
+    def total_splits(self) -> int:
+        """Number of splits in the session."""
+        return len(self._records)
+
+    @property
+    def completed_splits(self) -> int:
+        """Number of completed splits."""
+        return sum(
+            1 for r in self._records.values() if r.state is SplitState.COMPLETED
+        )
+
+    @property
+    def pending_splits(self) -> int:
+        """Number of splits not yet assigned."""
+        return sum(1 for r in self._records.values() if r.state is SplitState.PENDING)
+
+    @property
+    def assigned_splits(self) -> int:
+        """Number of splits currently in flight."""
+        return sum(1 for r in self._records.values() if r.state is SplitState.ASSIGNED)
+
+    @property
+    def done(self) -> bool:
+        """Whether every split has completed."""
+        return self.completed_splits == self.total_splits
+
+    @property
+    def progress(self) -> float:
+        """Completed fraction in [0, 1]."""
+        return self.completed_splits / self.total_splits
+
+    # -- checkpointing ------------------------------------------------------------
+
+    def checkpoint(self) -> MasterCheckpoint:
+        """Snapshot completed-split state for failure recovery."""
+        completed = frozenset(
+            split_id
+            for split_id, record in self._records.items()
+            if record.state is SplitState.COMPLETED
+        )
+        return MasterCheckpoint(self.spec.table_name, completed)
+
+    def restore(self, checkpoint: MasterCheckpoint) -> None:
+        """Restore from a checkpoint: completed stay done, rest requeue.
+
+        Splits that completed after the checkpoint was taken are
+        *re-queued* (at-least-once delivery) — the data plane tolerates
+        replays because tensors are consumed idempotently per split.
+        """
+        if checkpoint.session_table != self.spec.table_name:
+            raise DppError("checkpoint belongs to a different session")
+        unknown = checkpoint.completed_split_ids - set(self._records)
+        if unknown:
+            raise DppError(f"checkpoint references unknown splits: {sorted(unknown)}")
+        for split_id, record in self._records.items():
+            if split_id in checkpoint.completed_split_ids:
+                record.state = SplitState.COMPLETED
+            else:
+                record.state = SplitState.PENDING
+            record.assigned_to = None
+
+
+class ReplicatedMaster:
+    """Primary/standby master pair (the master "is replicated to avoid
+    being a single point of failure", Section 3.2.1).
+
+    The primary serves all traffic and ships every state change to the
+    standby synchronously (we model replication as shared-nothing
+    checkpoint shipping on each mutation).  ``fail_over`` promotes the
+    standby, losing nothing.
+    """
+
+    def __init__(self, spec: SessionSpec, files: dict[str, FileFooter]) -> None:
+        self._spec = spec
+        self._files = dict(files)
+        self.primary = DppMaster(spec, files)
+        self._standby_checkpoint = self.primary.checkpoint()
+        self._standby_workers: set[str] = set()
+        self.failovers = 0
+
+    def register_worker(self, worker_id: str) -> None:
+        """Register on the primary and mirror membership to the standby."""
+        self.primary.register_worker(worker_id)
+        self._standby_workers.add(worker_id)
+
+    def request_split(self, worker_id: str) -> Split | None:
+        """Delegate to the primary."""
+        return self.primary.request_split(worker_id)
+
+    def complete_split(self, worker_id: str, split_id: int) -> None:
+        """Delegate to the primary, then replicate state."""
+        self.primary.complete_split(worker_id, split_id)
+        self._standby_checkpoint = self.primary.checkpoint()
+
+    def worker_failed(self, worker_id: str) -> list[int]:
+        """Delegate to the primary and mirror membership."""
+        self._standby_workers.discard(worker_id)
+        return self.primary.worker_failed(worker_id)
+
+    def fail_over(self) -> None:
+        """Kill the primary and promote a fresh replica from shipped state.
+
+        In-flight (assigned) splits are requeued — workers simply fetch
+        them again; completed state is preserved exactly.
+        """
+        replacement = DppMaster(self._spec, self._files)
+        replacement.restore(self._standby_checkpoint)
+        for worker_id in self._standby_workers:
+            replacement.register_worker(worker_id)
+        self.primary = replacement
+        self.failovers += 1
+
+    @property
+    def done(self) -> bool:
+        """Whether the session has completed every split."""
+        return self.primary.done

@@ -1,0 +1,208 @@
+"""DPP session orchestration: wiring master, workers, and clients.
+
+:class:`DppSession` is the façade FBLearner-Flow-launched jobs interact
+with: it plans splits from published partition footers, spawns the
+worker fleet, connects trainer clients, and pumps the data plane.  The
+pump is synchronous and deterministic — a virtual scheduler standing in
+for the distributed runtime — while all data movement (bytes decoded,
+batches produced) is real.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+
+from ..common.errors import DppError
+from ..dwrf.layout import FileFooter
+from ..tectonic.filesystem import TectonicFilesystem
+from ..warehouse.publish import partition_file_name
+from ..warehouse.schema import TableSchema
+from .autoscaler import AutoscalerConfig, AutoscalingController, WorkerTelemetry
+from .client import DppClient
+from .master import ReplicatedMaster
+from .spec import SessionSpec
+from .tensors import TensorBatch
+from .worker import DppWorker, WorkerConfig
+
+
+@dataclass
+class SessionReport:
+    """Summary of a completed session."""
+
+    rows_processed: int = 0
+    batches_delivered: int = 0
+    storage_rx_bytes: int = 0
+    tensor_bytes_delivered: int = 0
+    peak_workers: int = 0
+    scaling_events: list[str] = field(default_factory=list)
+
+
+class DppSession:
+    """One training job's preprocessing session."""
+
+    def __init__(
+        self,
+        spec: SessionSpec,
+        filesystem: TectonicFilesystem,
+        schema: TableSchema,
+        partition_footers: dict[str, FileFooter],
+        n_workers: int = 2,
+        n_clients: int = 1,
+        worker_config: WorkerConfig | None = None,
+        autoscaler_config: AutoscalerConfig | None = None,
+    ) -> None:
+        if n_workers < 1 or n_clients < 1:
+            raise DppError("a session needs at least one worker and one client")
+        self.spec = spec
+        self.filesystem = filesystem
+        self.schema = schema
+        # Key footers by Tectonic path, which is what splits reference.
+        self.footers = {
+            partition_file_name(spec.table_name, partition): footer
+            for partition, footer in partition_footers.items()
+        }
+        path_spec = SessionSpec(
+            table_name=spec.table_name,
+            partitions=tuple(
+                partition_file_name(spec.table_name, p) for p in spec.partitions
+            ),
+            projection=spec.projection,
+            dag=spec.dag,
+            output_ids=spec.output_ids,
+            batch_size=spec.batch_size,
+            split_stripes=spec.split_stripes,
+            coalesce_window=spec.coalesce_window,
+            row_sample_rate=spec.row_sample_rate,
+        )
+        self.master = ReplicatedMaster(path_spec, self.footers)
+        self.worker_config = worker_config or WorkerConfig()
+        self._worker_ids = itertools.count()
+        self.workers: list[DppWorker] = [
+            self._spawn_worker() for _ in range(n_workers)
+        ]
+        self.clients = [
+            DppClient(f"client-{i}", self.workers) for i in range(n_clients)
+        ]
+        self.controller = AutoscalingController(autoscaler_config)
+        self.report = SessionReport(peak_workers=n_workers)
+
+    def _spawn_worker(self) -> DppWorker:
+        worker = DppWorker(
+            worker_id=f"worker-{next(self._worker_ids)}",
+            master=self.master,
+            filesystem=self.filesystem,
+            schema=self.schema,
+            footers=self.footers,
+            config=self.worker_config,
+        )
+        return worker
+
+    # -- fleet management ------------------------------------------------------
+
+    @property
+    def live_workers(self) -> list[DppWorker]:
+        """Workers currently alive."""
+        return [worker for worker in self.workers if worker.alive]
+
+    def scale(self, delta: int) -> None:
+        """Launch (+) or drain (−) workers and refresh client routing."""
+        if delta > 0:
+            for _ in range(delta):
+                self.workers.append(self._spawn_worker())
+        elif delta < 0:
+            for worker in self.live_workers[: -delta]:
+                # Draining is graceful: the worker stops pulling splits.
+                worker.alive = False
+                self.master.worker_failed(worker.worker_id)
+        for client in self.clients:
+            client.refresh_partition()
+        self.report.peak_workers = max(
+            self.report.peak_workers, len(self.live_workers)
+        )
+
+    def run_autoscaler(self) -> int:
+        """Collect telemetry, evaluate the controller, apply the delta."""
+        telemetry = []
+        for worker in self.live_workers:
+            usage = worker.stats.usage
+            # Utilization proxies normalized against the busiest worker;
+            # the executable pump has no wall clock, so relative load
+            # stands in for absolute utilization.
+            peak_cycles = max(
+                (w.stats.usage.cpu_cycles for w in self.live_workers), default=1.0
+            ) or 1.0
+            telemetry.append(
+                WorkerTelemetry(
+                    worker_id=worker.worker_id,
+                    buffered_batches=worker.buffered_batches,
+                    cpu_utilization=usage.cpu_cycles / peak_cycles,
+                    memory_utilization=0.0,
+                    network_utilization=0.0,
+                )
+            )
+        decision = self.controller.evaluate(telemetry)
+        if decision.delta:
+            self.scale(decision.delta)
+            self.report.scaling_events.append(
+                f"{decision.action} {abs(decision.delta)}: {decision.reason}"
+            )
+        return decision.delta
+
+    # -- the pump ----------------------------------------------------------------
+
+    def pump(self, max_rounds: int = 100_000) -> SessionReport:
+        """Run the session to completion.
+
+        Each round, every live worker processes one split and every
+        client drains available batches — a fair round-robin scheduler.
+        Raises if the session cannot finish (e.g. all workers dead and
+        autoscaling disabled).
+        """
+        delivered: list[TensorBatch] = []
+        draining = False
+        for _ in range(max_rounds):
+            if self.master.done and not any(
+                worker.buffer for worker in self.live_workers
+            ):
+                break
+            if self.master.done and not draining:
+                # Endgame drain: widen every client's fan-out so no
+                # worker's buffered tensors are stranded behind the
+                # steady-state connection cap.
+                draining = True
+                for client in self.clients:
+                    client.max_connections = max(
+                        client.max_connections, len(self.live_workers)
+                    )
+                    client.refresh_partition()
+            if not self.live_workers:
+                raise DppError("session stalled: no live workers")
+            progressed = False
+            for worker in list(self.live_workers):
+                if not self.master.done and worker.wants_work:
+                    progressed |= worker.process_one_split()
+            for client in self.clients:
+                while True:
+                    batch = client.get_batch()
+                    if batch is None:
+                        break
+                    delivered.append(batch)
+            if not progressed and self.master.done:
+                continue
+        else:
+            raise DppError("pump exceeded max_rounds")
+        self._finalize_report(delivered)
+        return self.report
+
+    def _finalize_report(self, delivered: list[TensorBatch]) -> None:
+        self.report.rows_processed = sum(
+            worker.stats.rows_processed for worker in self.workers
+        )
+        self.report.batches_delivered = len(delivered)
+        self.report.storage_rx_bytes = sum(
+            worker.stats.storage_rx_bytes for worker in self.workers
+        )
+        self.report.tensor_bytes_delivered = sum(
+            batch.wire_bytes() for batch in delivered
+        )

@@ -1,0 +1,65 @@
+"""Session specifications: what one training job asks DPP to do.
+
+The DPP Master receives "a session specification (a PyTorchDataSet)
+that reflects the preprocessing workload, containing the dataset table,
+specific partitions, required features, and transformation operations
+for each feature" (Section 3.2.1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..common.errors import DppError
+from ..transforms.dag import TransformDag
+
+
+@dataclass(frozen=True)
+class SessionSpec:
+    """Immutable description of one DPP preprocessing session.
+
+    *projection* is the set of raw features read from storage (the
+    column filter); *output_ids* the feature columns loaded as tensors
+    — typically the DAG's derived outputs plus passthrough raw
+    features.  *split_stripes* controls work-item granularity.
+    """
+
+    table_name: str
+    partitions: tuple[str, ...]
+    projection: frozenset[int]
+    dag: TransformDag = field(default_factory=TransformDag)
+    output_ids: tuple[int, ...] = ()
+    batch_size: int = 512
+    split_stripes: int = 1
+    coalesce_window: int = 0
+    # Row-sampling pushdown for exploratory jobs (Section 4.1: they use
+    # "a small fraction (typically < 5%)" of the table).  Applied at
+    # split granularity, so skipped samples are never even read from
+    # storage.  1.0 reads everything.
+    row_sample_rate: float = 1.0
+
+    def __post_init__(self) -> None:
+        if not self.partitions:
+            raise DppError("a session must read at least one partition")
+        if not self.projection:
+            raise DppError("a session must project at least one feature")
+        if self.batch_size <= 0:
+            raise DppError("batch_size must be positive")
+        if self.split_stripes <= 0:
+            raise DppError("split_stripes must be positive")
+        if self.coalesce_window < 0:
+            raise DppError("coalesce_window cannot be negative")
+        if not 0 < self.row_sample_rate <= 1:
+            raise DppError("row_sample_rate must be in (0, 1]")
+        missing = self.dag.required_raw_inputs() - set(self.projection)
+        if missing:
+            raise DppError(
+                f"transform DAG reads features outside the projection: {sorted(missing)}"
+            )
+
+    def effective_output_ids(self) -> list[int]:
+        """Columns loaded as tensors: explicit list or DAG outputs."""
+        if self.output_ids:
+            return list(self.output_ids)
+        outputs = self.dag.output_ids()
+        return outputs if outputs else sorted(self.projection)

@@ -1,0 +1,390 @@
+"""DPP Workers: the stateless extract-transform-load data plane.
+
+Each worker pulls splits from the master, reads and decodes raw bytes
+from Tectonic (extract), applies the session's transform DAG per
+mini-batch (transform), and buffers ready tensors for clients to pull
+(partial load) — Section 3.2.1.
+
+Two real code paths model the in-memory-format ablation (Table 12, FM):
+
+* row path — decode stripes to :class:`Row` maps, then convert to the
+  columnar batch (the format change the paper calls out as costly);
+* flatmap path — decode DWRF streams directly into columnar batches,
+  skipping row materialization.
+
+Resource usage is charged through an analytical cost model on top of
+the real byte/value counts the extract path produces.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..common.errors import DppError, WorkerFailure
+from ..common.resources import ResourceUsage
+from ..dwrf.layout import FileFooter, FileLayout
+from ..dwrf.reader import DwrfReader, IOTrace, ReadOptions
+from ..dwrf.stream import ROW_LEVEL, StreamKind
+from ..dwrf.stripe import decode_flattened_feature, decode_labels
+from ..tectonic.filesystem import TectonicFilesystem
+from ..transforms.batch import DenseColumn, FeatureBatch, SparseColumn
+from ..transforms.cost import CostReport, execute_with_cost
+from ..warehouse.schema import FeatureType, TableSchema
+from .master import DppMaster, ReplicatedMaster
+from .spec import SessionSpec
+from .split import Split
+from .tensors import TensorBatch
+
+
+@dataclass(frozen=True)
+class ExtractCostModel:
+    """Cycle and memory-traffic charges for the extract phase.
+
+    Constants are relative calibration values.  ``conversion_*`` apply
+    only on the row path — the columnar-to-row-to-columnar format
+    change that in-memory flatmaps eliminate (Section 7.5).
+    ``overhead_factor`` multiplies all extract+transform cycles unless
+    localized optimizations (LTO/AutoFDO, null-check removal) are on.
+    """
+
+    cycles_per_compressed_byte: float = 2.2  # decrypt + decompress
+    cycles_per_value: float = 62.5  # stream decode into typed values
+    mem_bytes_per_value: float = 14.0
+    conversion_cycles_per_value: float = 22.2
+    conversion_mem_bytes_per_value: float = 26.0
+    overhead_factor: float = 1.28
+
+
+@dataclass(frozen=True)
+class WorkerConfig:
+    """Data-plane options for one worker fleet.
+
+    ``in_memory_flatmap`` selects the direct columnar decode path (FM);
+    ``localized_optimizations`` removes the build/runtime overhead
+    factor (LO); ``buffer_batches`` bounds the tensor buffer ("a small
+    buffer of tensors in each Worker's memory").
+    """
+
+    in_memory_flatmap: bool = True
+    localized_optimizations: bool = True
+    buffer_batches: int = 8
+    extract_cost: ExtractCostModel = field(default_factory=ExtractCostModel)
+
+
+@dataclass
+class WorkerStats:
+    """Counters the autoscaling controller collects from each worker."""
+
+    splits_completed: int = 0
+    rows_processed: int = 0
+    batches_produced: int = 0
+    batches_served: int = 0
+    storage_rx_bytes: int = 0
+    tensor_tx_bytes: int = 0
+    usage: ResourceUsage = field(default_factory=ResourceUsage)
+    transform_report: CostReport = field(default_factory=CostReport)
+
+
+class DppWorker:
+    """One stateless preprocessing worker."""
+
+    def __init__(
+        self,
+        worker_id: str,
+        master: DppMaster | ReplicatedMaster,
+        filesystem: TectonicFilesystem,
+        schema: TableSchema,
+        footers: dict[str, FileFooter],
+        config: WorkerConfig | None = None,
+    ) -> None:
+        self.worker_id = worker_id
+        self.master = master
+        self.filesystem = filesystem
+        self.schema = schema
+        self.footers = footers
+        self.config = config or WorkerConfig()
+        # On startup each worker pulls the session's transform module
+        # from the master (Section 3.2.1).
+        self.spec: SessionSpec = master.primary.spec if isinstance(
+            master, ReplicatedMaster
+        ) else master.spec
+        self.buffer: deque[TensorBatch] = deque()
+        self.stats = WorkerStats()
+        self.io_trace = IOTrace()
+        self.alive = True
+        master.register_worker(worker_id)
+
+    # -- control -----------------------------------------------------------
+
+    def fail(self) -> None:
+        """Kill the worker (fault injection); master requeues its work."""
+        self.alive = False
+        self.buffer.clear()
+        self.master.worker_failed(self.worker_id)
+
+    # -- main loop ----------------------------------------------------------
+
+    def process_one_split(self) -> bool:
+        """Fetch and fully process one split; False when none remain."""
+        if not self.alive:
+            raise WorkerFailure(f"worker {self.worker_id} is dead")
+        split = self.master.request_split(self.worker_id)
+        if split is None:
+            return False
+        for batch in self._extract_split(split):
+            transform_report = execute_with_cost(self.spec.dag, batch)
+            self._charge_transform(transform_report)
+            self._load(batch)
+        self.master.complete_split(self.worker_id, split.split_id)
+        self.stats.splits_completed += 1
+        return True
+
+    @property
+    def buffered_batches(self) -> int:
+        """Tensors queued for clients — the autoscaler's key signal."""
+        return len(self.buffer)
+
+    @property
+    def wants_work(self) -> bool:
+        """Backpressure: a worker with a full buffer stops pulling splits."""
+        return self.alive and len(self.buffer) < self.config.buffer_batches
+
+    def serve_batch(self) -> TensorBatch | None:
+        """RPC handler: pop one tensor batch for a client."""
+        if not self.alive:
+            raise WorkerFailure(f"worker {self.worker_id} is dead")
+        if not self.buffer:
+            return None
+        batch = self.buffer.popleft()
+        self.stats.batches_served += 1
+        wire = batch.wire_bytes()
+        self.stats.tensor_tx_bytes += wire
+        self.stats.usage.nic_tx_bytes += wire
+        self.stats.usage.mem_bytes += wire  # serialization touches every byte
+        return batch
+
+    # -- extract ------------------------------------------------------------
+
+    def _extract_split(self, split: Split):
+        footer = self.footers[split.file_name]
+        is_map_layout = footer.options.layout is FileLayout.MAP
+        read_options = ReadOptions(
+            projection=None if is_map_layout else self.spec.projection,
+            coalesce_window=self.spec.coalesce_window,
+        )
+        before_bytes = self.io_trace.bytes_read
+        before_useful = self.io_trace.useful_bytes
+        reader = DwrfReader(
+            footer,
+            self.filesystem.fetcher(split.file_name),
+            read_options,
+            trace=self.io_trace,
+        )
+        use_flatmap = self.config.in_memory_flatmap and not is_map_layout
+        for stripe_index in range(split.stripe_start, split.stripe_end):
+            if use_flatmap:
+                batch, n_values = self._read_stripe_columnar(reader, stripe_index)
+                conversion_values = 0
+            else:
+                # Row path: with the MAP layout the whole stripe is
+                # decoded into rows before the projection can apply —
+                # the extract inefficiency feature flattening removes.
+                rows = reader.read_stripe(stripe_index, self.schema)
+                n_values = self._count_row_values(rows)
+                batch = FeatureBatch.from_rows(rows, sorted(self.spec.projection))
+                conversion_values = n_values
+            self._ensure_projection_columns(batch)
+            compressed = self.io_trace.bytes_read - before_bytes
+            # Decode CPU is charged on stream bytes actually decoded;
+            # coalesced over-read bytes cross the NIC but are skipped.
+            decoded = self.io_trace.useful_bytes - before_useful
+            before_bytes = self.io_trace.bytes_read
+            before_useful = self.io_trace.useful_bytes
+            self._charge_extract(compressed, decoded, n_values, conversion_values)
+            self.stats.rows_processed += batch.n_rows
+            self.stats.storage_rx_bytes += compressed
+            yield from self._rebatch(batch)
+
+    def _read_stripe_columnar(
+        self, reader: DwrfReader, stripe_index: int
+    ) -> tuple[FeatureBatch, int]:
+        """Direct DWRF-streams → columnar-batch decode (flatmap path)."""
+        stripe = reader.footer.stripes[stripe_index]
+        payloads = reader._fetch_streams(stripe)
+        options = reader.footer.options
+        labels = decode_labels(payloads[(ROW_LEVEL, StreamKind.LABEL)], options)
+        batch = FeatureBatch(labels=np.asarray(labels, dtype=np.float32))
+        n_values = len(labels)
+        for fid in sorted(self.spec.projection):
+            if not stripe.has_stream(fid, StreamKind.PRESENCE):
+                continue
+            spec = self.schema.get(fid)
+            if spec.ftype is FeatureType.DENSE:
+                value_payload = payloads[(fid, StreamKind.DENSE_VALUES)]
+                lengths_payload = None
+            else:
+                value_payload = payloads[(fid, StreamKind.SPARSE_VALUES)]
+                lengths_payload = payloads[(fid, StreamKind.SPARSE_LENGTHS)]
+            scores_payload = payloads.get((fid, StreamKind.SCORE_VALUES))
+            presence, values, scores = decode_flattened_feature(
+                spec.ftype,
+                stripe.row_count,
+                options,
+                payloads[(fid, StreamKind.PRESENCE)],
+                value_payload,
+                lengths_payload,
+                scores_payload,
+            )
+            presence_arr = np.asarray(presence, dtype=bool)
+            if spec.ftype is FeatureType.DENSE:
+                full = np.zeros(stripe.row_count, dtype=np.float32)
+                full[presence_arr] = np.asarray(values, dtype=np.float32)
+                batch.add_column(fid, DenseColumn(full, presence_arr))
+                n_values += len(values)
+            else:
+                lists: list[list[int]] = []
+                weight_lists: list[list[float]] | None = [] if scores is not None else None
+                cursor = 0
+                for here in presence:
+                    if here:
+                        lists.append(list(values[cursor]))
+                        if weight_lists is not None:
+                            weight_lists.append(list(scores[cursor]))
+                        cursor += 1
+                    else:
+                        lists.append([])
+                        if weight_lists is not None:
+                            weight_lists.append([])
+                column = SparseColumn.from_lists(lists, weight_lists)
+                batch.add_column(fid, column)
+                n_values += len(column.values)
+        return batch, n_values
+
+    def _ensure_projection_columns(self, batch: FeatureBatch) -> None:
+        """Backfill empty columns for projected features absent from a stripe.
+
+        A feature with zero coverage in a stripe writes no streams, but
+        the transform DAG still expects its column; production decoders
+        materialize an all-null vector in that case.
+        """
+        n = batch.n_rows
+        for fid in self.spec.projection:
+            if fid in batch.columns:
+                continue
+            spec = self.schema.get(fid)
+            if spec.ftype is FeatureType.DENSE:
+                batch.add_column(
+                    fid,
+                    DenseColumn(
+                        np.zeros(n, dtype=np.float32), np.zeros(n, dtype=bool)
+                    ),
+                )
+            else:
+                weights = [[] for _ in range(n)] if (
+                    spec.ftype is FeatureType.SCORED_SPARSE
+                ) else None
+                batch.add_column(
+                    fid, SparseColumn.from_lists([[] for _ in range(n)], weights)
+                )
+
+    @staticmethod
+    def _count_values(batch: FeatureBatch) -> int:
+        total = batch.n_rows  # labels
+        for column in batch.columns.values():
+            total += len(column.values)
+        return total
+
+    @staticmethod
+    def _count_row_values(rows) -> int:
+        total = len(rows)  # labels
+        for row in rows:
+            total += len(row.dense)
+            total += sum(len(ids) for ids in row.sparse.values())
+            total += sum(len(ws) for ws in row.scores.values())
+        return total
+
+    def _rebatch(self, batch: FeatureBatch):
+        """Cut a stripe-sized batch into session-sized mini-batches.
+
+        Stripes rarely equal the training batch size; production
+        workers regroup rows.  For simplicity we emit one tensor batch
+        per ceil(rows / batch_size) slice without crossing stripes.
+        """
+        size = self.spec.batch_size
+        if batch.n_rows <= size:
+            yield batch
+            return
+        for start in range(0, batch.n_rows, size):
+            stop = min(start + size, batch.n_rows)
+            piece = FeatureBatch(labels=batch.labels[start:stop])
+            for fid, column in batch.columns.items():
+                if isinstance(column, DenseColumn):
+                    piece.add_column(
+                        fid,
+                        DenseColumn(
+                            column.values[start:stop], column.presence[start:stop]
+                        ),
+                    )
+                else:
+                    offsets = column.offsets[start : stop + 1]
+                    base = offsets[0]
+                    values = column.values[base : offsets[-1]]
+                    weights = (
+                        None
+                        if column.weights is None
+                        else column.weights[base : offsets[-1]]
+                    )
+                    piece.add_column(
+                        fid, SparseColumn(offsets - base, values, weights)
+                    )
+            yield piece
+
+    # -- load ---------------------------------------------------------------
+
+    def _load(self, batch: FeatureBatch) -> None:
+        tensors = TensorBatch.from_feature_batch(
+            batch, self.spec.effective_output_ids()
+        )
+        self.buffer.append(tensors)
+        self.stats.batches_produced += 1
+        self.stats.usage.memory_resident_bytes = sum(
+            t.nbytes() for t in self.buffer
+        )
+
+    # -- cost charging ----------------------------------------------------------
+
+    def _overhead(self) -> float:
+        if self.config.localized_optimizations:
+            return 1.0
+        return self.config.extract_cost.overhead_factor
+
+    def _charge_extract(
+        self,
+        compressed_bytes: int,
+        decoded_bytes: int,
+        n_values: int,
+        conversion_values: int,
+    ) -> None:
+        model = self.config.extract_cost
+        cycles = (
+            decoded_bytes * model.cycles_per_compressed_byte
+            + n_values * model.cycles_per_value
+            + conversion_values * model.conversion_cycles_per_value
+        ) * self._overhead()
+        mem = (
+            n_values * model.mem_bytes_per_value
+            + conversion_values * model.conversion_mem_bytes_per_value
+        )
+        usage = self.stats.usage
+        usage.cpu_cycles += cycles
+        usage.mem_bytes += mem
+        usage.nic_rx_bytes += compressed_bytes
+
+    def _charge_transform(self, report: CostReport) -> None:
+        self.stats.transform_report.merge(report)
+        usage = self.stats.usage
+        usage.cpu_cycles += report.cycles * self._overhead()
+        usage.mem_bytes += report.mem_bytes

@@ -1,0 +1,23 @@
+"""DWRF: a columnar file format with feature flattening (ORC fork)."""
+
+from .layout import EncodingOptions, FileFooter, FileLayout, StripeMeta
+from .reader import DwrfReader, IORecord, IOTrace, ReadOptions
+from .stream import ROW_LEVEL, StreamInfo, StreamKind
+from .writer import DwrfFile, DwrfWriter, write_table_partition
+
+__all__ = [
+    "ROW_LEVEL",
+    "DwrfFile",
+    "DwrfReader",
+    "DwrfWriter",
+    "EncodingOptions",
+    "FileFooter",
+    "FileLayout",
+    "IORecord",
+    "IOTrace",
+    "ReadOptions",
+    "StreamInfo",
+    "StreamKind",
+    "StripeMeta",
+    "write_table_partition",
+]

@@ -1,0 +1,150 @@
+"""Low-level stream codecs: varint, zigzag, float packing, compression.
+
+DWRF stripes are made of compressed and (in production) encrypted
+streams (Section 3.1.2).  We implement real codecs so that file sizes,
+offsets, and I/O sizes downstream are genuine consequences of the data:
+
+* integers: zigzag + LEB128 varint, then zlib
+* floats: little-endian float32 packing, then zlib
+* "encryption": a keyed XOR applied after compression — not secure, but
+  a real byte transformation so the datacenter-tax cost model charges
+  for real byte volumes.
+"""
+
+from __future__ import annotations
+
+import zlib
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from ..common.errors import FormatError
+
+_XOR_KEY = bytes(range(251, 0, -7))  # fixed 36-byte rolling key
+
+
+def zigzag_encode(value: int) -> int:
+    """Map a signed integer to an unsigned one (small magnitudes small)."""
+    return (value << 1) ^ (value >> 63) if value < 0 else value << 1
+
+
+def zigzag_decode(value: int) -> int:
+    """Inverse of :func:`zigzag_encode`."""
+    return (value >> 1) ^ -(value & 1)
+
+
+def encode_varints(values: Iterable[int]) -> bytes:
+    """LEB128-encode a sequence of signed integers (zigzag first).
+
+    Used for small metadata (headers); bulk integer streams use the
+    vectorized :func:`encode_ints` codec.
+    """
+    out = bytearray()
+    for value in values:
+        encoded = zigzag_encode(int(value))
+        while True:
+            byte = encoded & 0x7F
+            encoded >>= 7
+            if encoded:
+                out.append(byte | 0x80)
+            else:
+                out.append(byte)
+                break
+    return bytes(out)
+
+
+def decode_varints(data: bytes) -> list[int]:
+    """Decode an LEB128 byte string back to signed integers."""
+    values: list[int] = []
+    shift = 0
+    current = 0
+    for byte in data:
+        current |= (byte & 0x7F) << shift
+        if byte & 0x80:
+            shift += 7
+            if shift > 63:
+                raise FormatError("varint too long")
+        else:
+            values.append(zigzag_decode(current))
+            current = 0
+            shift = 0
+    if shift:
+        raise FormatError("truncated varint stream")
+    return values
+
+
+def encode_ints(values) -> bytes:
+    """Vectorized bulk integer codec: adaptive-width little-endian pack.
+
+    Values that fit int32 pack at 4 bytes each (one tag byte selects
+    the width), otherwise int64 at 8.  Compression (zlib in
+    :func:`seal`) then squeezes the redundant high bytes, so sizes stay
+    realistic while encode/decode run at numpy speed.
+    """
+    array = np.asarray(values, dtype=np.int64)
+    if array.size and (array.max(initial=0) > 2**31 - 1 or array.min(initial=0) < -(2**31)):
+        return b"\x08" + array.astype("<i8").tobytes()
+    return b"\x04" + array.astype("<i4").tobytes()
+
+
+def decode_ints(data: bytes) -> np.ndarray:
+    """Inverse of :func:`encode_ints`; returns an int64 array."""
+    if not data:
+        raise FormatError("empty integer stream")
+    width, payload = data[0], data[1:]
+    if width == 4:
+        dtype = "<i4"
+    elif width == 8:
+        dtype = "<i8"
+    else:
+        raise FormatError(f"unknown integer stream width {width}")
+    if len(payload) % width:
+        raise FormatError("integer stream length not a multiple of its width")
+    return np.frombuffer(payload, dtype=dtype).astype(np.int64)
+
+
+def pack_floats(values: Sequence[float]) -> bytes:
+    """Pack floats as little-endian float32."""
+    return np.asarray(values, dtype="<f4").tobytes()
+
+
+def unpack_floats(data: bytes) -> list[float]:
+    """Unpack little-endian float32 bytes."""
+    if len(data) % 4:
+        raise FormatError("float stream length not a multiple of 4")
+    return [float(x) for x in np.frombuffer(data, dtype="<f4")]
+
+
+def pack_bitmap(bits: Sequence[bool]) -> bytes:
+    """Pack booleans into a bitmap, LSB-first within each byte."""
+    return np.packbits(np.asarray(bits, dtype=bool), bitorder="little").tobytes()
+
+
+def unpack_bitmap(data: bytes, count: int) -> list[bool]:
+    """Unpack *count* booleans from a bitmap."""
+    if count > len(data) * 8:
+        raise FormatError("bitmap shorter than requested count")
+    bits = np.unpackbits(np.frombuffer(data, dtype=np.uint8), bitorder="little")
+    return [bool(b) for b in bits[:count]]
+
+
+def _xor_cipher(data: bytes) -> bytes:
+    key = _XOR_KEY
+    return bytes(b ^ key[i % len(key)] for i, b in enumerate(data))
+
+
+def seal(payload: bytes, *, compress: bool = True, encrypt: bool = True) -> bytes:
+    """Apply the on-disk transformations: compression then encryption."""
+    data = zlib.compress(payload, level=1) if compress else payload
+    return _xor_cipher(data) if encrypt else data
+
+
+def unseal(data: bytes, *, compress: bool = True, encrypt: bool = True) -> bytes:
+    """Invert :func:`seal`."""
+    plain = _xor_cipher(data) if encrypt else data
+    if not compress:
+        return plain
+    try:
+        return zlib.decompress(plain)
+    except zlib.error as exc:
+        raise FormatError(f"corrupt compressed stream: {exc}") from exc

@@ -1,0 +1,250 @@
+"""Stripe encoding: turning a batch of rows into streams.
+
+This is the core of the format.  Two layouts are supported:
+
+* **MAP** — each stripe stores a label stream plus one big row-oriented
+  stream holding every row's full feature maps.  Reading any feature
+  requires fetching and decoding the whole stripe ("entire rows are
+  read", Figure 10 left).
+* **FLATTENED** — each feature's values across the stripe's rows are
+  stored as separate presence/value/length/score streams, so a reader
+  can fetch exactly the features it needs (Figure 10 right).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..common.errors import FormatError
+from ..warehouse.row import Row
+from ..warehouse.schema import FeatureType, TableSchema
+from . import encoding
+from .layout import EncodingOptions, FileLayout
+from .stream import ROW_LEVEL, PendingStream, StreamKind
+
+
+def _seal(payload: bytes, options: EncodingOptions) -> bytes:
+    return encoding.seal(payload, compress=options.compress, encrypt=options.encrypt)
+
+
+def _unseal(data: bytes, options: EncodingOptions) -> bytes:
+    return encoding.unseal(data, compress=options.compress, encrypt=options.encrypt)
+
+
+def _ordered_feature_ids(schema: TableSchema, options: EncodingOptions) -> list[int]:
+    """Stream order within a stripe.
+
+    With no explicit order, features appear in schema (ID) order —
+    the paper notes offline generation "effectively orders feature
+    streams randomly" relative to popularity, which ID order models.
+    Feature reordering passes popularity order via the options.
+    """
+    ids = schema.feature_ids()
+    if options.feature_order is None:
+        return ids
+    known = set(ids)
+    ordered = [fid for fid in options.feature_order if fid in known]
+    remaining = [fid for fid in ids if fid not in set(ordered)]
+    return ordered + remaining
+
+
+def encode_stripe(
+    rows: Sequence[Row], schema: TableSchema, options: EncodingOptions
+) -> list[PendingStream]:
+    """Encode *rows* into the stripe's pending streams."""
+    if not rows:
+        raise FormatError("cannot encode an empty stripe")
+    if options.layout is FileLayout.MAP:
+        return _encode_map_stripe(rows, options)
+    return _encode_flattened_stripe(rows, schema, options)
+
+
+def _encode_map_stripe(
+    rows: Sequence[Row], options: EncodingOptions
+) -> list[PendingStream]:
+    labels = encoding.pack_floats([row.label for row in rows])
+    streams = [PendingStream(ROW_LEVEL, StreamKind.LABEL, _seal(labels, options))]
+
+    # Whole-row encoding: for each row, its dense, sparse, and score
+    # maps serialized inline.  Ints go in one varint section; floats in
+    # a parallel packed section (offsets are implied by the int walk).
+    ints: list[int] = []
+    floats: list[float] = []
+    for row in rows:
+        ints.append(len(row.dense))
+        for fid in sorted(row.dense):
+            ints.append(fid)
+            floats.append(row.dense[fid])
+        ints.append(len(row.sparse))
+        for fid in sorted(row.sparse):
+            values = row.sparse[fid]
+            ints.append(fid)
+            ints.append(len(values))
+            ints.extend(values)
+        ints.append(len(row.scores))
+        for fid in sorted(row.scores):
+            weights = row.scores[fid]
+            ints.append(fid)
+            ints.append(len(weights))
+            floats.extend(weights)
+    int_payload = encoding.encode_ints(ints)
+    float_payload = encoding.pack_floats(floats)
+    header = encoding.encode_varints([len(int_payload)])
+    payload = header + int_payload + float_payload
+    streams.append(PendingStream(ROW_LEVEL, StreamKind.MAP_ROWS, _seal(payload, options)))
+    return streams
+
+
+def _encode_flattened_stripe(
+    rows: Sequence[Row], schema: TableSchema, options: EncodingOptions
+) -> list[PendingStream]:
+    labels = encoding.pack_floats([row.label for row in rows])
+    streams = [PendingStream(ROW_LEVEL, StreamKind.LABEL, _seal(labels, options))]
+
+    for fid in _ordered_feature_ids(schema, options):
+        spec = schema.get(fid)
+        presence = [row.has_feature(fid) for row in rows]
+        if not any(presence):
+            continue  # feature absent from the whole stripe: no streams
+        streams.append(
+            PendingStream(
+                fid, StreamKind.PRESENCE, _seal(encoding.pack_bitmap(presence), options)
+            )
+        )
+        present_rows = [row for row, here in zip(rows, presence) if here]
+        if spec.ftype is FeatureType.DENSE:
+            values = encoding.pack_floats([row.dense[fid] for row in present_rows])
+            streams.append(
+                PendingStream(fid, StreamKind.DENSE_VALUES, _seal(values, options))
+            )
+        else:
+            lengths = [len(row.sparse[fid]) for row in present_rows]
+            flat_ids = [v for row in present_rows for v in row.sparse[fid]]
+            streams.append(
+                PendingStream(
+                    fid,
+                    StreamKind.SPARSE_LENGTHS,
+                    _seal(encoding.encode_ints(lengths), options),
+                )
+            )
+            streams.append(
+                PendingStream(
+                    fid,
+                    StreamKind.SPARSE_VALUES,
+                    _seal(encoding.encode_ints(flat_ids), options),
+                )
+            )
+            if spec.ftype is FeatureType.SCORED_SPARSE:
+                flat_scores = [w for row in present_rows for w in row.scores[fid]]
+                streams.append(
+                    PendingStream(
+                        fid,
+                        StreamKind.SCORE_VALUES,
+                        _seal(encoding.pack_floats(flat_scores), options),
+                    )
+                )
+    return streams
+
+
+def decode_map_stripe(
+    label_payload: bytes,
+    rows_payload: bytes,
+    row_count: int,
+    options: EncodingOptions,
+    projection: set[int] | None = None,
+) -> list[Row]:
+    """Decode a MAP-layout stripe back into rows.
+
+    Note the essential inefficiency this models: the *entire* stripe is
+    decoded even when *projection* wants a handful of features — the
+    filter applies only after decoding.
+    """
+    labels = encoding.unpack_floats(_unseal(label_payload, options))
+    payload = _unseal(rows_payload, options)
+    header, rest = _split_varint_header(payload)
+    int_payload, float_payload = rest[:header], rest[header:]
+    ints = encoding.decode_ints(int_payload).tolist()
+    floats = encoding.unpack_floats(float_payload)
+
+    rows: list[Row] = []
+    ii = 0  # int cursor
+    fi = 0  # float cursor
+    for r in range(row_count):
+        row = Row(label=labels[r])
+        n_dense = ints[ii]; ii += 1
+        for _ in range(n_dense):
+            fid = ints[ii]; ii += 1
+            value = floats[fi]; fi += 1
+            row.dense[fid] = value
+        n_sparse = ints[ii]; ii += 1
+        for _ in range(n_sparse):
+            fid = ints[ii]; ii += 1
+            length = ints[ii]; ii += 1
+            row.sparse[fid] = ints[ii : ii + length]; ii += length
+        n_scores = ints[ii]; ii += 1
+        for _ in range(n_scores):
+            fid = ints[ii]; ii += 1
+            length = ints[ii]; ii += 1
+            row.scores[fid] = floats[fi : fi + length]; fi += length
+        rows.append(row.project(projection) if projection is not None else row)
+    return rows
+
+
+def _split_varint_header(payload: bytes) -> tuple[int, bytes]:
+    """Read the leading varint (int-section length) and return the rest."""
+    cursor = 0
+    for i, byte in enumerate(payload):
+        if not byte & 0x80:
+            cursor = i + 1
+            break
+    else:
+        raise FormatError("missing stripe header")
+    header = encoding.decode_varints(payload[:cursor])[0]
+    return header, payload[cursor:]
+
+
+def decode_flattened_feature(
+    spec_type: FeatureType,
+    row_count: int,
+    options: EncodingOptions,
+    presence_payload: bytes,
+    value_payload: bytes,
+    lengths_payload: bytes | None = None,
+    scores_payload: bytes | None = None,
+) -> tuple[list[bool], list, list[list[float]] | None]:
+    """Decode one feature's streams from a flattened stripe.
+
+    Returns ``(presence, values, scores)`` where *values* is a list of
+    floats (dense) or a list of ID lists (sparse), aligned with the
+    present rows, and *scores* parallels the sparse values when the
+    feature is scored.
+    """
+    presence = encoding.unpack_bitmap(_unseal(presence_payload, options), row_count)
+    if spec_type is FeatureType.DENSE:
+        values = encoding.unpack_floats(_unseal(value_payload, options))
+        return presence, values, None
+    if lengths_payload is None:
+        raise FormatError("sparse feature missing lengths stream")
+    lengths = encoding.decode_ints(_unseal(lengths_payload, options)).tolist()
+    flat = encoding.decode_ints(_unseal(value_payload, options)).tolist()
+    values = []
+    cursor = 0
+    for length in lengths:
+        values.append(flat[cursor : cursor + length])
+        cursor += length
+    scores: list[list[float]] | None = None
+    if spec_type is FeatureType.SCORED_SPARSE:
+        if scores_payload is None:
+            raise FormatError("scored feature missing scores stream")
+        flat_scores = encoding.unpack_floats(_unseal(scores_payload, options))
+        scores = []
+        cursor = 0
+        for length in lengths:
+            scores.append(flat_scores[cursor : cursor + length])
+            cursor += length
+    return presence, values, scores
+
+
+def decode_labels(payload: bytes, options: EncodingOptions) -> list[float]:
+    """Decode a label stream."""
+    return encoding.unpack_floats(_unseal(payload, options))

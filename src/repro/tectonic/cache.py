@@ -1,0 +1,163 @@
+"""SSD feature-stream caching: Section 7.2's heterogeneous storage.
+
+"There are further software and hardware optimization opportunities,
+such as placing commonly-used features (Figure 7) on SSD-based caches."
+This module implements that cache in front of the HDD tier:
+
+* admission by *feature popularity* — the storage layer predicts hot
+  streams from recent training-job reads (the same signal feature
+  reordering uses);
+* byte-budgeted capacity with popularity-weighted eviction;
+* service-time accounting against both media so experiments can
+  measure delivered throughput and power per configuration.
+
+The cache indexes logical *stream ranges* (file, offset, length), the
+natural cacheable unit of DWRF reads.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..common.errors import StorageError
+from .media import MediaModel, hdd_node, ssd_node
+
+
+@dataclass(frozen=True)
+class StreamKey:
+    """Identity of one cached byte range."""
+
+    file_name: str
+    offset: int
+    length: int
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss accounting in requests and bytes."""
+
+    hits: int = 0
+    misses: int = 0
+    hit_bytes: int = 0
+    miss_bytes: int = 0
+    evictions: int = 0
+
+    @property
+    def requests(self) -> int:
+        """Total lookups."""
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Request hit rate; 0 when never used."""
+        return self.hits / self.requests if self.requests else 0.0
+
+    @property
+    def byte_hit_rate(self) -> float:
+        """Byte-weighted hit rate; 0 when never used."""
+        total = self.hit_bytes + self.miss_bytes
+        return self.hit_bytes / total if total else 0.0
+
+
+class FeatureCache:
+    """Popularity-admitted, byte-budgeted SSD cache over an HDD tier."""
+
+    def __init__(
+        self,
+        capacity_bytes: int,
+        ssd: MediaModel | None = None,
+        hdd: MediaModel | None = None,
+        admission_threshold: int = 2,
+    ) -> None:
+        if capacity_bytes <= 0:
+            raise StorageError("cache capacity must be positive")
+        if admission_threshold < 1:
+            raise StorageError("admission threshold must be at least 1")
+        self.capacity_bytes = capacity_bytes
+        self.ssd = ssd or ssd_node()
+        self.hdd = hdd or hdd_node()
+        self.admission_threshold = admission_threshold
+        self._resident: dict[StreamKey, int] = {}  # key -> popularity
+        self._popularity: dict[StreamKey, int] = {}
+        self.used_bytes = 0
+        self.stats = CacheStats()
+        self._ssd_time = 0.0
+        self._hdd_time = 0.0
+
+    # -- the read path ---------------------------------------------------------
+
+    def read(self, key: StreamKey, *, sequential: bool = False) -> float:
+        """Serve one stream read; returns the service time.
+
+        Hits go to SSD; misses go to HDD, bump the key's popularity,
+        and are admitted once the key has been requested
+        ``admission_threshold`` times (scan resistance).
+        """
+        if key in self._resident:
+            self.stats.hits += 1
+            self.stats.hit_bytes += key.length
+            self._popularity[key] = self._popularity.get(key, 0) + 1
+            self._resident[key] = self._popularity[key]
+            service = self.ssd.service_time(key.length, sequential=sequential)
+            self._ssd_time += service
+            return service
+
+        self.stats.misses += 1
+        self.stats.miss_bytes += key.length
+        count = self._popularity.get(key, 0) + 1
+        self._popularity[key] = count
+        if count >= self.admission_threshold:
+            self._admit(key)
+        service = self.hdd.service_time(key.length, sequential=sequential)
+        self._hdd_time += service
+        return service
+
+    def _admit(self, key: StreamKey) -> None:
+        if key.length > self.capacity_bytes:
+            return  # never cache a range bigger than the whole tier
+        while self.used_bytes + key.length > self.capacity_bytes:
+            self._evict_coldest()
+        self._resident[key] = self._popularity[key]
+        self.used_bytes += key.length
+
+    def _evict_coldest(self) -> None:
+        if not self._resident:
+            raise StorageError("cache accounting corrupt: nothing to evict")
+        coldest = min(self._resident, key=lambda k: (self._resident[k], -k.length))
+        self.used_bytes -= coldest.length
+        del self._resident[coldest]
+        self.stats.evictions += 1
+
+    # -- accounting ---------------------------------------------------------------
+
+    @property
+    def resident_keys(self) -> int:
+        """Number of cached stream ranges."""
+        return len(self._resident)
+
+    def contains(self, key: StreamKey) -> bool:
+        """Whether a range is currently resident."""
+        return key in self._resident
+
+    def total_service_time(self) -> float:
+        """Device time consumed across both tiers."""
+        return self._ssd_time + self._hdd_time
+
+    def delivered_throughput(self) -> float:
+        """Bytes served per second of device time."""
+        total_time = self.total_service_time()
+        if total_time == 0:
+            raise StorageError("no reads served yet")
+        return (self.stats.hit_bytes + self.stats.miss_bytes) / total_time
+
+    def hdd_only_time(self) -> float:
+        """Counterfactual: device time had every read gone to HDD."""
+        served = self.stats.hit_bytes + self.stats.miss_bytes
+        if self.stats.requests == 0:
+            raise StorageError("no reads served yet")
+        mean = served / self.stats.requests
+        return self.stats.requests * self.hdd.service_time(mean)
+
+    def speedup_vs_hdd(self) -> float:
+        """Delivered-throughput gain over the all-HDD counterfactual."""
+        return self.hdd_only_time() / self.total_service_time()

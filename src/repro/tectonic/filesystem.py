@@ -1,0 +1,198 @@
+"""The Tectonic filesystem: append-only files over replicated blocks.
+
+Files are append-only (Section 3.1.2); writers append bytes which are
+chunked into blocks, each block placed on ``replication`` distinct
+nodes chosen by free capacity.  Reads address a (file, offset, length)
+range; the filesystem routes each block-range to one replica and
+accounts the I/O on that node.
+
+The filesystem exposes :meth:`TectonicFilesystem.fetcher`, an adapter
+matching the DWRF reader's byte-range interface, so the columnar layer
+reads "through" real placement and I/O accounting.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+
+from ..common.errors import StorageError
+from .block import Block
+from .media import TECTONIC_CHUNK_BYTES, MediaModel, hdd_node
+from .node import StorageNode
+
+
+@dataclass
+class TectonicFile:
+    """Metadata for one append-only file."""
+
+    name: str
+    blocks: list[Block] = field(default_factory=list)
+    sealed: bool = False
+
+    @property
+    def length(self) -> int:
+        """Total bytes in the file."""
+        return sum(block.length for block in self.blocks)
+
+
+class TectonicFilesystem:
+    """An in-process model of Tectonic: nodes, placement, replication."""
+
+    def __init__(
+        self,
+        n_nodes: int = 6,
+        media: MediaModel | None = None,
+        replication: int = 3,
+        chunk_bytes: int = TECTONIC_CHUNK_BYTES,
+    ) -> None:
+        if n_nodes < replication:
+            raise StorageError(
+                f"need at least {replication} nodes for {replication}x replication"
+            )
+        if chunk_bytes <= 0:
+            raise StorageError("chunk size must be positive")
+        self.media = media or hdd_node()
+        self.nodes = [StorageNode(i, self.media) for i in range(n_nodes)]
+        self.replication = replication
+        self.chunk_bytes = chunk_bytes
+        self._files: dict[str, TectonicFile] = {}
+        self._block_ids = itertools.count()
+        self._replica_rr = 0
+
+    # -- namespace ---------------------------------------------------------
+
+    def create(self, name: str) -> TectonicFile:
+        """Create a new empty file."""
+        if name in self._files:
+            raise StorageError(f"file {name} already exists")
+        file = TectonicFile(name)
+        self._files[name] = file
+        return file
+
+    def file(self, name: str) -> TectonicFile:
+        """Look up a file by name."""
+        try:
+            return self._files[name]
+        except KeyError:
+            raise StorageError(f"no file named {name}") from None
+
+    def delete(self, name: str) -> None:
+        """Delete a file, releasing replica capacity."""
+        file = self.file(name)
+        for block in file.blocks:
+            for node_id in block.replica_nodes:
+                self.nodes[node_id].release(block.length)
+        del self._files[name]
+
+    def list_files(self) -> list[str]:
+        """All file names."""
+        return sorted(self._files)
+
+    # -- writes --------------------------------------------------------------
+
+    def append(self, name: str, data: bytes) -> None:
+        """Append bytes to a file, chunking into materialized blocks."""
+        file = self.file(name)
+        if file.sealed:
+            raise StorageError(f"file {name} is sealed (append-only, immutable)")
+        for start in range(0, len(data), self.chunk_bytes):
+            chunk = data[start : start + self.chunk_bytes]
+            self._add_block(file, len(chunk), chunk)
+
+    def append_virtual(self, name: str, n_bytes: int) -> None:
+        """Append size-only blocks (for provisioning-scale studies)."""
+        file = self.file(name)
+        if file.sealed:
+            raise StorageError(f"file {name} is sealed (append-only, immutable)")
+        remaining = n_bytes
+        while remaining > 0:
+            chunk = min(remaining, self.chunk_bytes)
+            self._add_block(file, chunk, None)
+            remaining -= chunk
+
+    def seal(self, name: str) -> None:
+        """Seal a file; further appends are rejected."""
+        self.file(name).sealed = True
+
+    def _add_block(self, file: TectonicFile, length: int, data: bytes | None) -> None:
+        replicas = self._pick_replicas()
+        for node_id in replicas:
+            self.nodes[node_id].allocate(length)
+        file.blocks.append(
+            Block(
+                block_id=next(self._block_ids),
+                file_name=file.name,
+                index=len(file.blocks),
+                length=length,
+                data=data,
+                replica_nodes=replicas,
+            )
+        )
+
+    def _pick_replicas(self) -> tuple[int, ...]:
+        """Place replicas on the nodes with the most free space."""
+        ranked = sorted(self.nodes, key=lambda node: node.used_bytes)
+        return tuple(node.node_id for node in ranked[: self.replication])
+
+    # -- reads ---------------------------------------------------------------
+
+    def read(self, name: str, offset: int, length: int) -> bytes:
+        """Read a byte range, touching each covering block's replica."""
+        file = self.file(name)
+        if offset < 0 or offset + length > file.length:
+            raise StorageError(
+                f"read [{offset}, {offset + length}) beyond file of {file.length}"
+            )
+        out = bytearray()
+        cursor = 0
+        remaining_offset = offset
+        remaining_length = length
+        for block in file.blocks:
+            block_start = cursor
+            block_end = cursor + block.length
+            cursor = block_end
+            if block_end <= remaining_offset:
+                continue
+            if remaining_length <= 0:
+                break
+            inner_offset = remaining_offset - block_start
+            take = min(block.length - inner_offset, remaining_length)
+            node = self._route_replica(block)
+            node.record_read(take)
+            out.extend(block.read(inner_offset, take))
+            remaining_offset += take
+            remaining_length -= take
+        return bytes(out)
+
+    def _route_replica(self, block: Block) -> StorageNode:
+        """Round-robin reads across a block's replicas."""
+        replicas = block.replica_nodes
+        node_id = replicas[self._replica_rr % len(replicas)]
+        self._replica_rr += 1
+        return self.nodes[node_id]
+
+    def fetcher(self, name: str):
+        """A ``(offset, length) -> bytes`` adapter for the DWRF reader."""
+
+        def fetch(offset: int, length: int) -> bytes:
+            return self.read(name, offset, length)
+
+        return fetch
+
+    # -- accounting ------------------------------------------------------------
+
+    @property
+    def used_bytes(self) -> int:
+        """Bytes allocated across all nodes (includes replication)."""
+        return sum(node.used_bytes for node in self.nodes)
+
+    def logical_bytes(self) -> int:
+        """Bytes of file content (before replication)."""
+        return sum(file.length for file in self._files.values())
+
+    def total_io(self) -> tuple[int, int]:
+        """(reads served, bytes read) across all nodes."""
+        reads = sum(node.served.io_count for node in self.nodes)
+        read_bytes = sum(node.served.bytes_read for node in self.nodes)
+        return reads, read_bytes

@@ -1,0 +1,59 @@
+"""GPU ingestion demand: how hard trainers pull on the DSI pipeline.
+
+Section 6.1 measures each model's tensor ingestion rate per 8-GPU node
+(Table 8) and projects 3.5× growth within two years.  Demand is a
+property of the model (operational intensity) and the accelerator
+generation, not of the data pipeline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..common.errors import ConfigError
+from ..workloads.models import ModelConfig
+
+#: Relative ingest demand of a V100-generation node versus the
+#: A100-generation nodes behind Table 8 (used by the Table 7 study).
+V100_DEMAND_FACTOR = 0.268
+#: Section 6.1's two-year demand growth projection.
+PROJECTED_GROWTH_FACTOR = 3.5
+
+
+@dataclass(frozen=True)
+class GpuDemand:
+    """Ingestion demand of one training node for one model."""
+
+    model: ModelConfig
+    generation_factor: float = 1.0  # 1.0 = Table 8's A100-generation nodes
+
+    def __post_init__(self) -> None:
+        if self.generation_factor <= 0:
+            raise ConfigError("generation factor must be positive")
+
+    @property
+    def bytes_per_s(self) -> float:
+        """Tensor bytes/s the node's GPUs consume when never stalled."""
+        return self.model.trainer_bytes_per_s * self.generation_factor
+
+    @property
+    def samples_per_s(self) -> float:
+        """Samples/s the node's GPUs consume when never stalled."""
+        return self.model.samples_per_s_per_trainer * self.generation_factor
+
+    def projected(self, growth: float = PROJECTED_GROWTH_FACTOR) -> "GpuDemand":
+        """Demand after the paper's projected hardware/software growth."""
+        return GpuDemand(self.model, self.generation_factor * growth)
+
+    def stall_fraction(self, supplied_bytes_per_s: float) -> float:
+        """Fraction of GPU time stalled given a data-supply rate.
+
+        With supply ≥ demand the GPUs never wait; below that, stall
+        time is the unmet fraction of demand (fluid approximation of
+        Section 6's "% of GPU stall time").
+        """
+        if supplied_bytes_per_s < 0:
+            raise ConfigError("supply cannot be negative")
+        if supplied_bytes_per_s >= self.bytes_per_s:
+            return 0.0
+        return 1.0 - supplied_bytes_per_s / self.bytes_per_s

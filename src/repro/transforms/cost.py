@@ -1,0 +1,83 @@
+"""Cost accounting for transform execution.
+
+The paper characterizes preprocessing by where CPU cycles and memory
+bandwidth go (Figure 9, Section 6.3/6.4).  Python wall-clock is not a
+faithful proxy for optimized C++ kernels, so we charge costs
+analytically: every op application charges
+``elements × cycles_per_element`` CPU cycles and
+``elements × mem_bytes_per_element`` DRAM traffic, using the per-op
+constants declared in each Transform class.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .base import OpClass, Transform
+from .batch import FeatureBatch
+from .dag import TransformDag
+
+
+@dataclass
+class CostReport:
+    """Accumulated work for one or more op applications."""
+
+    cycles: float = 0.0
+    mem_bytes: float = 0.0
+    cycles_by_class: dict[OpClass, float] = field(
+        default_factory=lambda: {cls: 0.0 for cls in OpClass}
+    )
+    elements: int = 0
+
+    def charge(self, op: Transform, elements: int) -> None:
+        """Charge one op application over *elements* input elements."""
+        cycles = op.cost.cycles_per_element * elements
+        self.cycles += cycles
+        self.mem_bytes += op.cost.mem_bytes_per_element * elements
+        self.cycles_by_class[op.op_class] += cycles
+        self.elements += elements
+
+    def merge(self, other: "CostReport") -> None:
+        """Accumulate another report into this one."""
+        self.cycles += other.cycles
+        self.mem_bytes += other.mem_bytes
+        self.elements += other.elements
+        for cls, cycles in other.cycles_by_class.items():
+            self.cycles_by_class[cls] += cycles
+
+    def class_shares(self) -> dict[OpClass, float]:
+        """Fraction of transform cycles per op class (Section 6.4)."""
+        total = sum(self.cycles_by_class.values())
+        if total == 0:
+            return {cls: 0.0 for cls in OpClass}
+        return {cls: cycles / total for cls, cycles in self.cycles_by_class.items()}
+
+
+def execute_with_cost(dag: TransformDag, batch: FeatureBatch) -> CostReport:
+    """Execute *dag* on *batch* while charging the cost model."""
+    report = CostReport()
+    for node in dag.compile():
+        elements = node.op.input_elements(batch)
+        batch.add_column(node.output_id, node.op.apply(batch))
+        report.charge(node.op, elements)
+    return report
+
+
+def estimate_dag_cost(dag: TransformDag, batch: FeatureBatch) -> CostReport:
+    """Charge costs without mutating the batch (planning mode).
+
+    Input element counts for derived inputs are approximated by the raw
+    inputs feeding them, which is exact for normalization chains and a
+    mild underestimate for expansion ops.
+    """
+    report = CostReport()
+    for node in dag.compile():
+        elements = 0
+        for fid in node.op.input_ids:
+            if fid in batch.columns:
+                column = batch.columns[fid]
+                elements += len(getattr(column, "values", [])) or batch.n_rows
+            else:
+                elements += batch.n_rows
+        report.charge(node.op, max(elements, batch.n_rows))
+    return report

@@ -1,0 +1,40 @@
+"""Hive-like data warehouse: schemas, partitioned tables, sample generation."""
+
+from .catalog import Catalog
+from .generator import (
+    DatasetProfile,
+    SampleGenerator,
+    measured_avg_sparse_length,
+    measured_coverage,
+)
+from .publish import partition_file_name, publish_table
+from .retention import (
+    RetentionPolicy,
+    RetentionReport,
+    enforce_retention,
+    verify_reaped,
+)
+from .row import Row
+from .schema import FeatureSpec, FeatureStatus, FeatureType, TableSchema
+from .table import Partition, Table
+
+__all__ = [
+    "RetentionPolicy",
+    "RetentionReport",
+    "enforce_retention",
+    "verify_reaped",
+    "Catalog",
+    "DatasetProfile",
+    "FeatureSpec",
+    "FeatureStatus",
+    "FeatureType",
+    "Partition",
+    "Row",
+    "SampleGenerator",
+    "Table",
+    "TableSchema",
+    "measured_avg_sparse_length",
+    "measured_coverage",
+    "partition_file_name",
+    "publish_table",
+]

@@ -1,0 +1,54 @@
+"""The data warehouse catalog: a namespace of tables.
+
+The paper stresses that hundreds of models share one centralized data
+warehouse with a common schema convention (Section 3.1).  The catalog
+is that shared namespace.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from ..common.errors import SchemaError
+from .schema import TableSchema
+from .table import Table
+
+
+class Catalog:
+    """Named collection of warehouse tables."""
+
+    def __init__(self) -> None:
+        self._tables: dict[str, Table] = {}
+
+    def __len__(self) -> int:
+        return len(self._tables)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._tables
+
+    def __iter__(self) -> Iterator[Table]:
+        return iter(self._tables.values())
+
+    def create_table(self, schema: TableSchema) -> Table:
+        """Create a table from a schema and register it."""
+        if schema.table_name in self._tables:
+            raise SchemaError(f"table {schema.table_name} already exists")
+        table = Table(schema)
+        self._tables[schema.table_name] = table
+        return table
+
+    def table(self, name: str) -> Table:
+        """Look up a registered table."""
+        try:
+            return self._tables[name]
+        except KeyError:
+            raise SchemaError(f"no table named {name}") from None
+
+    def drop_table(self, name: str) -> None:
+        """Remove a table from the catalog."""
+        self.table(name)
+        del self._tables[name]
+
+    def table_names(self) -> list[str]:
+        """All registered table names."""
+        return sorted(self._tables)

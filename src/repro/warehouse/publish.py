@@ -1,0 +1,44 @@
+"""Publishing warehouse tables into Tectonic as DWRF files.
+
+This is the storage half of Section 3.1.2: each table partition is
+encoded as a columnar DWRF file and written into the distributed
+filesystem.  The returned footer map is the metadata training sessions
+(and the DPP master) use to plan reads.
+"""
+
+from __future__ import annotations
+
+from ..dwrf.layout import EncodingOptions, FileFooter
+from ..dwrf.writer import DwrfWriter
+from ..tectonic.filesystem import TectonicFilesystem
+from .table import Table
+
+
+def partition_file_name(table_name: str, partition_name: str) -> str:
+    """Canonical Tectonic path for one table partition."""
+    return f"warehouse/{table_name}/{partition_name}.dwrf"
+
+
+def publish_table(
+    filesystem: TectonicFilesystem,
+    table: Table,
+    options: EncodingOptions | None = None,
+    partitions: list[str] | None = None,
+) -> dict[str, FileFooter]:
+    """Encode partitions of *table* to DWRF and store them in Tectonic.
+
+    Returns partition name → footer.  Files are sealed after writing
+    (the filesystem is append-only).
+    """
+    names = partitions if partitions is not None else table.partition_names()
+    footers: dict[str, FileFooter] = {}
+    for name in names:
+        writer = DwrfWriter(table.schema, options)
+        writer.write_rows(table.partition(name).rows)
+        dwrf_file = writer.close()
+        path = partition_file_name(table.name, name)
+        filesystem.create(path)
+        filesystem.append(path, dwrf_file.data)
+        filesystem.seal(path)
+        footers[name] = dwrf_file.footer
+    return footers

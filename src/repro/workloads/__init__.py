@@ -1,0 +1,52 @@
+"""Workload configurations: RM1-3 models, datasets, hardware specs."""
+
+from .datasets import DERIVED_BASE, FEATURE_SCALE, MiniDataset, build_mini_dataset
+from .hardware import (
+    C_V1,
+    C_V2,
+    C_V3,
+    C_VSOTA,
+    COMPUTE_GENERATIONS,
+    V100_TRAINER,
+    ZIONEX_TRAINER,
+    ComputeNodeSpec,
+    TrainerNodeSpec,
+)
+from .models import (
+    ALL_MODELS,
+    RM1,
+    RM2,
+    RM3,
+    DatasetStats,
+    DppThroughput,
+    ModelConfig,
+    ModelFeatures,
+    TableSizes,
+    model_by_name,
+)
+
+__all__ = [
+    "ALL_MODELS",
+    "C_V1",
+    "C_V2",
+    "C_V3",
+    "C_VSOTA",
+    "COMPUTE_GENERATIONS",
+    "DERIVED_BASE",
+    "DatasetStats",
+    "DppThroughput",
+    "FEATURE_SCALE",
+    "MiniDataset",
+    "ModelConfig",
+    "ModelFeatures",
+    "RM1",
+    "RM2",
+    "RM3",
+    "TableSizes",
+    "TrainerNodeSpec",
+    "ComputeNodeSpec",
+    "V100_TRAINER",
+    "ZIONEX_TRAINER",
+    "build_mini_dataset",
+    "model_by_name",
+]

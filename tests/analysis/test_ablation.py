@@ -1,0 +1,110 @@
+"""The Table 12 progressive-optimization ablation (small-scale smoke).
+
+The full-scale run lives in benchmarks/test_table12_optimizations.py;
+here we run a reduced dataset and assert orderings rather than ratios.
+"""
+
+import pytest
+
+from repro.analysis import popularity_feature_order, run_stage, stages
+from repro.analysis.ablation import projection_byte_fraction
+from repro.workloads import RM1, build_mini_dataset
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return build_mini_dataset(RM1, ["p0"], 1200, seed=11)
+
+
+@pytest.fixture(scope="module")
+def results(dataset):
+    fraction = projection_byte_fraction(dataset)
+    return {
+        stage.name: run_stage(
+            dataset, stage, map_useful_fraction=fraction, n_workers=1
+        )
+        for stage in stages(base_stripe_rows=400, large_stripe_rows=1200)
+    }
+
+
+class TestStageSequence:
+    def test_seven_stages_in_paper_order(self):
+        names = [stage.name for stage in stages()]
+        assert names == ["Baseline", "+FF", "+FM", "+LO", "+CR", "+FR", "+LS"]
+
+    def test_cumulative_flags(self):
+        sequence = stages()
+        assert not sequence[0].in_memory_flatmap
+        assert sequence[2].in_memory_flatmap
+        assert not sequence[2].localized_optimizations
+        assert sequence[3].localized_optimizations
+        assert sequence[4].coalesce_window > 0
+        assert sequence[5].popularity_order
+        assert sequence[6].stripe_rows > sequence[5].stripe_rows
+
+
+class TestDppThroughput:
+    def test_ff_reduces_cpu_cycles(self, results):
+        assert results["+FF"].cpu_cycles < results["Baseline"].cpu_cycles / 1.5
+
+    def test_fm_reduces_over_ff(self, results):
+        assert results["+FM"].cpu_cycles < results["+FF"].cpu_cycles
+
+    def test_lo_reduces_over_fm(self, results):
+        assert results["+LO"].cpu_cycles < results["+FM"].cpu_cycles
+
+    def test_read_optimizations_leave_cpu_alone(self, results):
+        assert results["+CR"].cpu_cycles == pytest.approx(
+            results["+LO"].cpu_cycles, rel=0.02
+        )
+
+    def test_all_stages_process_all_rows(self, results, dataset):
+        expected = dataset.table.total_rows()
+        for result in results.values():
+            assert result.rows == expected
+
+
+class TestStorageThroughput:
+    def test_ff_craters_storage_throughput(self, results):
+        """Flattening wrecks HDD throughput until reads are coalesced."""
+        assert (
+            results["+FF"].storage_throughput
+            < results["Baseline"].storage_throughput / 2
+        )
+
+    def test_ff_explodes_io_count(self, results):
+        assert results["+FF"].io_count > 10 * results["Baseline"].io_count
+
+    def test_cr_restores_storage_throughput(self, results):
+        assert (
+            results["+CR"].storage_throughput
+            > 3 * results["+FF"].storage_throughput
+        )
+
+    def test_cr_introduces_overread(self, results):
+        assert results["+CR"].overread_fraction > results["+FF"].overread_fraction
+
+    def test_fr_cuts_overread(self, results):
+        assert results["+FR"].overread_fraction < results["+CR"].overread_fraction
+
+    def test_fr_beats_cr(self, results):
+        assert results["+FR"].storage_throughput > results["+CR"].storage_throughput
+
+    def test_ls_cuts_seeks_further(self, results):
+        assert results["+LS"].seeks <= results["+FR"].seeks
+
+    def test_final_stage_beats_baseline(self, results):
+        """The paper's end state: optimized storage throughput exceeds
+        the un-flattened baseline (2.41x in Table 12)."""
+        assert (
+            results["+LS"].storage_throughput
+            > results["Baseline"].storage_throughput
+        )
+
+
+class TestFeatureOrdering:
+    def test_popularity_order_puts_projection_first(self, dataset):
+        order = popularity_feature_order(dataset)
+        n_projected = len(dataset.projection)
+        assert set(order[:n_projected]) == set(dataset.projection)
+        assert len(order) == len(dataset.schema)

@@ -1,0 +1,164 @@
+"""Characterization studies: feature stats, I/O sizes, popularity, growth."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    byte_popularity_curve,
+    figure8_sweep,
+    figure9_rows,
+    measure_io_sizes,
+    measure_read_selectivity,
+    render_table,
+    simulate_feature_lifecycle,
+    simulate_growth,
+    simulate_month_of_jobs,
+    table8_rows,
+    table9_rows,
+)
+from repro.warehouse import FeatureStatus, TableSchema
+from repro.workloads import ALL_MODELS, RM1, RM3, build_mini_dataset
+
+
+@pytest.fixture(scope="module")
+def rm1_mini():
+    return build_mini_dataset(RM1, ["p0"], 400, seed=11)
+
+
+class TestTable2Lifecycle:
+    def test_counts_match_rates(self):
+        counts = simulate_feature_lifecycle(14_614, seed=0)
+        assert counts.total == 14_614
+        # Table 2's proportions, within sampling noise.
+        assert counts.beta == pytest.approx(10_148, rel=0.05)
+        assert counts.active == pytest.approx(1_650, rel=0.12)
+        assert counts.deprecated == pytest.approx(1_933, rel=0.12)
+
+    def test_schema_mutation(self):
+        schema = TableSchema("t")
+        counts = simulate_feature_lifecycle(500, seed=1, schema=schema)
+        histogram = schema.status_counts()
+        assert histogram[FeatureStatus.BETA] == counts.beta
+        assert histogram[FeatureStatus.ACTIVE] == counts.active
+        assert len(schema) == 500
+
+    def test_deterministic(self):
+        a = simulate_feature_lifecycle(1_000, seed=7)
+        b = simulate_feature_lifecycle(1_000, seed=7)
+        assert a == b
+
+
+class TestTable5Selectivity:
+    def test_features_used_near_paper(self, rm1_mini):
+        selectivity = measure_read_selectivity(rm1_mini)
+        assert selectivity.pct_features_used == pytest.approx(11.0, abs=2.5)
+
+    def test_bytes_exceed_features(self, rm1_mini):
+        """Read features are byte-heavier than average (Section 5.1)."""
+        selectivity = measure_read_selectivity(rm1_mini)
+        assert selectivity.pct_bytes_used > 1.5 * selectivity.pct_features_used
+
+    @pytest.mark.parametrize("model", ALL_MODELS, ids=lambda m: m.name)
+    def test_bytes_in_paper_ballpark(self, model):
+        dataset = build_mini_dataset(model, ["p0"], 300, seed=11)
+        selectivity = measure_read_selectivity(dataset)
+        assert selectivity.pct_bytes_used == pytest.approx(
+            model.dataset.pct_bytes_used, abs=16.0
+        )
+
+
+class TestTable6IoSizes:
+    def test_small_skewed_ios(self, rm1_mini):
+        study = measure_io_sizes(rm1_mini, stripe_rows=2048)
+        # The shape of Table 6: mean far above median, long right tail.
+        assert study.skew > 3.0
+        assert study.summary.p95 > 5 * study.summary.p50
+        assert study.summary.p50 < 50_000
+
+    def test_coalescing_grows_ios(self, rm1_mini):
+        plain = measure_io_sizes(rm1_mini, stripe_rows=2048)
+        coalesced = measure_io_sizes(
+            rm1_mini, stripe_rows=2048, coalesce_window=1_310_720
+        )
+        assert coalesced.summary.mean > 5 * plain.summary.mean
+        assert coalesced.trace.io_count < plain.trace.io_count / 5
+
+
+class TestFigure7Popularity:
+    @pytest.mark.parametrize("model", ALL_MODELS, ids=lambda m: m.name)
+    def test_bytes_for_80pct_traffic(self, model):
+        study = simulate_month_of_jobs(model, seed=0)
+        assert study.bytes_fraction_for_traffic(0.8) == pytest.approx(
+            model.popularity_bytes_for_80pct, abs=0.05
+        )
+
+    def test_rm3_reuse_tighter_than_rm1(self):
+        rm1 = simulate_month_of_jobs(RM1, seed=0).bytes_fraction_for_traffic(0.8)
+        rm3 = simulate_month_of_jobs(RM3, seed=0).bytes_fraction_for_traffic(0.8)
+        assert rm3 < rm1
+
+    def test_curve_monotone(self):
+        study = simulate_month_of_jobs(RM1, seed=1)
+        ys = [p.y for p in study.curve]
+        assert all(b >= a - 1e-12 for a, b in zip(ys, ys[1:]))
+        assert ys[-1] == pytest.approx(1.0)
+
+    def test_byte_popularity_curve_rejects_degenerate(self):
+        with pytest.raises(Exception):
+            byte_popularity_curve(np.array([1.0]), [])
+
+
+class TestFigure2Growth:
+    def test_paper_growth_factors(self):
+        series = simulate_growth(months=24, seed=0)
+        assert series.dataset_growth > 2.0
+        assert series.bandwidth_growth > 4.0
+
+    def test_bandwidth_outgrows_dataset(self):
+        series = simulate_growth(months=24, seed=1)
+        assert series.bandwidth_growth > series.dataset_growth
+
+    def test_series_lengths(self):
+        series = simulate_growth(months=12, seed=0)
+        assert len(series.dataset_size) == 12
+        assert series.dataset_size[0] == 1.0
+
+    def test_validation(self):
+        with pytest.raises(Exception):
+            simulate_growth(months=1)
+
+
+class TestThroughputRows:
+    def test_table8_rows(self):
+        rows = table8_rows()
+        assert [r.trainer_gbs for r in rows] == [16.50, 4.69, 12.00]
+
+    def test_table9_rows_near_paper(self):
+        for row, model in zip(table9_rows(), ALL_MODELS):
+            assert row.kqps == pytest.approx(model.dpp.kqps, rel=0.08)
+            assert row.workers_per_trainer == pytest.approx(
+                model.dpp.workers_per_trainer, rel=0.08
+            )
+
+    def test_figure8_sweep_monotone(self):
+        points = figure8_sweep(n_points=11)
+        assert all(
+            b.cpu >= a.cpu for a, b in zip(points, points[1:])
+        )
+
+    def test_figure9_rows_bottlenecks(self):
+        rows = figure9_rows()
+        assert [r.bottleneck for r in rows] == ["cpu", "nic_rx", "memory_capacity"]
+        rm3_row = rows[2]
+        assert rm3_row.mem_capacity > 0.5  # RM3 memory-capacity pressure
+
+
+class TestRenderTable:
+    def test_renders_aligned(self):
+        text = render_table(
+            ["name", "value"], [["a", 1.2345], ["bb", 2.0]], title="T"
+        )
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "1.234" in text or "1.235" in text
+        assert len(lines) == 5

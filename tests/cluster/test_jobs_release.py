@@ -1,0 +1,125 @@
+"""Training jobs, the release process, and fleet utilization."""
+
+import numpy as np
+import pytest
+
+from repro.common.errors import ConfigError
+from repro.cluster import (
+    JobKind,
+    JobStatus,
+    ModelCadence,
+    ReleaseConfig,
+    TrainingJob,
+    generate_release_iteration,
+    peak_to_median_ratio,
+    simulate_year,
+)
+
+
+class TestTrainingJob:
+    def test_active_window(self):
+        job = TrainingJob("m", JobKind.COMBO, start_day=10.0, duration_days=5.0,
+                          trainer_nodes=8, table_fraction=0.9)
+        assert not job.active_on(9.9)
+        assert job.active_on(10.0)
+        assert job.active_on(14.9)
+        assert not job.active_on(15.0)
+        assert job.node_days == 40.0
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            TrainingJob("m", JobKind.COMBO, 0, 0, 1, 0.5)
+        with pytest.raises(ConfigError):
+            TrainingJob("m", JobKind.COMBO, 0, 1, 0, 0.5)
+        with pytest.raises(ConfigError):
+            TrainingJob("m", JobKind.COMBO, 0, 1, 1, 1.5)
+
+    def test_unique_ids(self):
+        a = TrainingJob("m", JobKind.COMBO, 0, 1, 1, 0.5)
+        b = TrainingJob("m", JobKind.COMBO, 0, 1, 1, 0.5)
+        assert a.job_id != b.job_id
+
+
+class TestReleaseProcess:
+    def test_figure4_combo_count(self):
+        """Figure 4 shows 82 combo jobs in one RM1 iteration."""
+        iteration = generate_release_iteration("RM1", 0.0, seed=1)
+        assert len(iteration.jobs_of_kind(JobKind.COMBO)) == 82
+
+    def test_duration_skew(self):
+        """Figure 4: heavy temporal skew across combo jobs."""
+        iteration = generate_release_iteration("RM1", 0.0, seed=1)
+        assert iteration.combo_duration_skew() > 2.0
+
+    def test_some_jobs_exceed_ten_days(self):
+        """Section 4.1: individual jobs can take over 10 days."""
+        iteration = generate_release_iteration("RM1", 0.0, seed=1)
+        longest = max(j.duration_days for j in iteration.jobs)
+        assert longest > 10.0
+
+    def test_many_jobs_killed_or_failed(self):
+        """Section 4.1: many jobs fail or are killed."""
+        iteration = generate_release_iteration("RM1", 0.0, seed=1)
+        non_rc = [j for j in iteration.jobs if j.kind is not JobKind.RELEASE_CANDIDATE]
+        unfinished = [
+            j for j in non_rc if j.status in (JobStatus.KILLED, JobStatus.FAILED)
+        ]
+        assert 0.25 < len(unfinished) / len(non_rc) < 0.55
+
+    def test_exploratory_jobs_use_small_table_fractions(self):
+        """Section 4.1: exploratory jobs use <5% of the table."""
+        iteration = generate_release_iteration("RM1", 0.0, seed=1)
+        for job in iteration.jobs_of_kind(JobKind.EXPLORATORY):
+            assert job.table_fraction <= 0.05
+
+    def test_combo_jobs_use_majority_of_table(self):
+        iteration = generate_release_iteration("RM1", 0.0, seed=1)
+        for job in iteration.jobs_of_kind(JobKind.COMBO):
+            assert job.table_fraction >= 0.7
+
+    def test_release_candidates_few_and_complete(self):
+        iteration = generate_release_iteration("RM1", 0.0, seed=1)
+        rcs = iteration.jobs_of_kind(JobKind.RELEASE_CANDIDATE)
+        assert len(rcs) <= 5
+        assert all(j.status is JobStatus.COMPLETED for j in rcs)
+
+    def test_deterministic_under_seed(self):
+        a = generate_release_iteration("RM1", 0.0, seed=9)
+        b = generate_release_iteration("RM1", 0.0, seed=9)
+        assert [j.duration_days for j in a.jobs] == [j.duration_days for j in b.jobs]
+
+    def test_config_validation(self):
+        with pytest.raises(ConfigError):
+            ReleaseConfig(kill_rate=0.6, failure_rate=0.5)
+        with pytest.raises(ConfigError):
+            ReleaseConfig(combo_window_days=0)
+
+
+class TestYearSimulation:
+    def test_demand_trace_shape(self):
+        """Figure 5: distinct peaks above the exploratory floor."""
+        cadences = [
+            ModelCadence(f"M{i}", iteration_period_days=42.0, phase_days=(i % 3) * 2.0)
+            for i in range(8)
+        ]
+        daily, jobs = simulate_year(cadences, days=365, seed=2)
+        assert len(daily) == 365
+        assert peak_to_median_ratio(daily) > 1.2
+        assert len(jobs) > 1_000
+
+    def test_staggered_phases_flatten_peaks(self):
+        """Spreading release cadences lowers the fleet's demand peaks —
+        the scheduling opportunity of Section 7.3."""
+        aligned = [ModelCadence(f"A{i}", 42.0, phase_days=0.0) for i in range(6)]
+        staggered = [ModelCadence(f"S{i}", 42.0, phase_days=i * 7.0) for i in range(6)]
+        peak_aligned, _ = simulate_year(aligned, days=200, seed=3)
+        peak_staggered, _ = simulate_year(staggered, days=200, seed=3)
+        assert peak_aligned.max() > peak_staggered.max()
+
+    def test_empty_cadences_rejected(self):
+        with pytest.raises(ConfigError):
+            simulate_year([], days=10)
+
+    def test_zero_median_rejected(self):
+        with pytest.raises(ConfigError):
+            peak_to_median_ratio(np.zeros(10))

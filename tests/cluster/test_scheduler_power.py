@@ -1,0 +1,154 @@
+"""Regions, global scheduling, and the DSI power model."""
+
+import pytest
+
+from repro.common.errors import ConfigError, SchedulingError
+from repro.common.units import PB
+from repro.cluster import (
+    ModelDemand,
+    Region,
+    efficiency_gain_to_trainer_watts,
+    power_breakdown,
+    schedule_balanced,
+    schedule_bin_packed,
+)
+from repro.workloads import ALL_MODELS, RM1, RM3
+
+
+def make_regions(n=5, capacity=4_000, storage_pb=500):
+    return [Region(f"R{i}", capacity, storage_pb * PB) for i in range(n)]
+
+
+def make_demands():
+    return [
+        ModelDemand(m.name, 300, m.table_sizes.all_partitions) for m in ALL_MODELS
+    ]
+
+
+class TestRegion:
+    def test_dataset_hosting_consumes_storage(self):
+        region = Region("R", 100, 20 * PB)
+        region.host_dataset("m", 15 * PB)
+        assert region.used_storage_bytes == 15 * PB
+        with pytest.raises(SchedulingError):
+            region.host_dataset("m2", 10 * PB)
+
+    def test_hosting_idempotent(self):
+        region = Region("R", 100, 20 * PB)
+        region.host_dataset("m", 5 * PB)
+        region.host_dataset("m", 5 * PB)
+        assert region.used_storage_bytes == 5 * PB
+
+    def test_demand_requires_local_dataset(self):
+        region = Region("R", 100, 20 * PB)
+        with pytest.raises(SchedulingError):
+            region.place_demand("m", 10)
+
+    def test_trainer_capacity_enforced(self):
+        region = Region("R", 100, 20 * PB)
+        region.host_dataset("m", 1 * PB)
+        region.place_demand("m", 80)
+        with pytest.raises(SchedulingError):
+            region.place_demand("m", 30)
+
+    def test_validation(self):
+        with pytest.raises(SchedulingError):
+            Region("R", 0, 1)
+
+
+class TestScheduling:
+    def test_balanced_replicates_everywhere(self):
+        """Section 4.2: each region holds a copy of all datasets."""
+        regions = make_regions()
+        outcome = schedule_balanced(make_demands(), regions)
+        assert outcome.total_dataset_copies == 3 * 5
+        for region in regions:
+            assert len(region.datasets) == 3
+
+    def test_balanced_spreads_demand_evenly(self):
+        regions = make_regions()
+        outcome = schedule_balanced(make_demands(), regions)
+        for placement in outcome.placements.values():
+            shares = list(placement.values())
+            assert max(shares) == pytest.approx(min(shares))
+
+    def test_bin_packing_reduces_copies_and_storage(self):
+        """Section 7.3: bin-packing cuts replication and storage cost."""
+        balanced = schedule_balanced(make_demands(), make_regions())
+        packed = schedule_bin_packed(make_demands(), make_regions())
+        assert packed.total_dataset_copies < balanced.total_dataset_copies
+        assert packed.total_storage_bytes < balanced.total_storage_bytes
+
+    def test_bin_packing_splits_oversized_models(self):
+        """A model whose peak exceeds one region still gets placed."""
+        regions = make_regions(n=3, capacity=200)
+        demands = [ModelDemand("big", 450, 1 * PB)]
+        outcome = schedule_bin_packed(demands, regions)
+        assert sum(outcome.placements["big"].values()) == pytest.approx(450)
+        assert len(outcome.placements["big"]) >= 3
+
+    def test_bin_packing_detects_global_shortfall(self):
+        regions = make_regions(n=2, capacity=100)
+        with pytest.raises(SchedulingError):
+            schedule_bin_packed([ModelDemand("big", 500, 1 * PB)], regions)
+
+    def test_demand_matrix_shape(self):
+        regions = make_regions()
+        outcome = schedule_balanced(make_demands(), regions)
+        matrix = outcome.demand_matrix(
+            [m.name for m in ALL_MODELS], [r.name for r in regions]
+        )
+        assert len(matrix) == 3
+        assert all(len(row) == 5 for row in matrix)
+
+    def test_no_regions_rejected(self):
+        with pytest.raises(SchedulingError):
+            schedule_balanced(make_demands(), [])
+
+
+class TestPowerModel:
+    def test_figure1_dsi_can_exceed_training(self):
+        """Figure 1: DSI (storage + preprocessing) can consume more
+        power than the GPU trainers for some models."""
+        shares = [power_breakdown(m).dsi_share for m in ALL_MODELS]
+        assert any(share > 0.5 for share in shares)
+        assert any(share < 0.5 for share in shares)
+
+    def test_figure1_diversity(self):
+        """Figure 1: the split varies substantially across models."""
+        shares = [power_breakdown(m).dsi_share for m in ALL_MODELS]
+        assert max(shares) - min(shares) > 0.2
+
+    def test_components_sum(self):
+        breakdown = power_breakdown(RM1)
+        assert sum(breakdown.shares().values()) == pytest.approx(1.0)
+        assert breakdown.total_watts == (
+            breakdown.storage_watts
+            + breakdown.preprocessing_watts
+            + breakdown.training_watts
+        )
+
+    def test_preprocessing_power_scales_with_worker_count(self):
+        """RM3 needs ~55 workers/trainer — its preprocessing power share
+        dwarfs RM2's (~9 workers/trainer)."""
+        rm3 = power_breakdown(RM3)
+        rm2 = power_breakdown(ALL_MODELS[1])
+        assert rm3.shares()["preprocessing"] > rm2.shares()["preprocessing"]
+
+    def test_training_power_scales_with_fleet(self):
+        small = power_breakdown(RM1, n_trainers=8)
+        large = power_breakdown(RM1, n_trainers=16)
+        assert large.training_watts == pytest.approx(2 * small.training_watts)
+
+    def test_efficiency_gain_frees_watts(self):
+        """Section 7.5: a 2.59x DSI power reduction frees capacity."""
+        breakdown = power_breakdown(RM1)
+        freed = efficiency_gain_to_trainer_watts(breakdown, 2.59)
+        dsi = breakdown.storage_watts + breakdown.preprocessing_watts
+        assert freed == pytest.approx(dsi * (1 - 1 / 2.59))
+        with pytest.raises(ConfigError):
+            efficiency_gain_to_trainer_watts(breakdown, 1.0)
+
+    def test_invalid_trainer_count(self):
+        with pytest.raises(ConfigError):
+            power_breakdown(RM1, n_trainers=0)

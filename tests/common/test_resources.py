@@ -1,0 +1,95 @@
+"""Fluid host-resource models."""
+
+import pytest
+
+from repro.common.errors import ConfigError
+from repro.common.resources import HostModel, ResourceSpec, ResourceUsage
+
+
+def make_spec(**overrides):
+    defaults = dict(
+        cpu_cycles_per_s=1e9,
+        mem_bw_bytes_per_s=1e9,
+        nic_bytes_per_s=1e8,
+        memory_capacity_bytes=1e9,
+    )
+    defaults.update(overrides)
+    return ResourceSpec(**defaults)
+
+
+class TestResourceSpec:
+    def test_rejects_non_positive_capacity(self):
+        with pytest.raises(ConfigError):
+            make_spec(cpu_cycles_per_s=0)
+        with pytest.raises(ConfigError):
+            make_spec(nic_bytes_per_s=-1)
+
+    def test_memory_capacity_optional(self):
+        spec = make_spec(memory_capacity_bytes=0.0)
+        assert spec.memory_capacity_bytes == 0.0
+
+
+class TestResourceUsage:
+    def test_add_accumulates(self):
+        a = ResourceUsage(cpu_cycles=1, mem_bytes=2, nic_rx_bytes=3)
+        a.add(ResourceUsage(cpu_cycles=10, nic_tx_bytes=5))
+        assert a.cpu_cycles == 11
+        assert a.mem_bytes == 2
+        assert a.nic_tx_bytes == 5
+
+    def test_scaled(self):
+        usage = ResourceUsage(cpu_cycles=2, mem_bytes=4).scaled(2.5)
+        assert usage.cpu_cycles == 5
+        assert usage.mem_bytes == 10
+
+
+class TestUtilization:
+    def test_utilization_fractions(self):
+        host = HostModel(make_spec())
+        host.usage = ResourceUsage(
+            cpu_cycles=5e8, mem_bytes=2.5e8, nic_rx_bytes=5e7, nic_tx_bytes=1e7
+        )
+        report = host.utilization()
+        assert report.cpu == pytest.approx(0.5)
+        assert report.mem_bw == pytest.approx(0.25)
+        assert report.nic_rx == pytest.approx(0.5)
+        assert report.nic_tx == pytest.approx(0.1)
+
+    def test_bottleneck_identifies_max(self):
+        host = HostModel(make_spec())
+        host.usage = ResourceUsage(cpu_cycles=9e8, mem_bytes=1e8)
+        assert host.utilization().bottleneck == "cpu"
+        host.usage = ResourceUsage(cpu_cycles=1e8, nic_rx_bytes=9.9e7)
+        assert host.utilization().bottleneck == "nic_rx"
+
+    def test_memory_capacity_utilization(self):
+        host = HostModel(make_spec())
+        host.usage = ResourceUsage(memory_resident_bytes=5e8)
+        assert host.utilization().memory_capacity == pytest.approx(0.5)
+
+    def test_reset_clears_load(self):
+        host = HostModel(make_spec())
+        host.usage = ResourceUsage(cpu_cycles=1e8)
+        host.reset()
+        assert host.utilization().max_utilization == 0.0
+
+
+class TestSustainableScale:
+    def test_headroom_reported(self):
+        host = HostModel(make_spec())
+        host.usage = ResourceUsage(cpu_cycles=2.5e8)  # 25% CPU
+        assert host.max_sustainable_scale() == pytest.approx(4.0)
+
+    def test_mem_bw_saturation_limits(self):
+        host = HostModel(make_spec(), mem_bw_saturation=0.7)
+        host.usage = ResourceUsage(mem_bytes=3.5e8)  # 35% of peak
+        # 70% saturation ceiling / 35% load = 2x headroom, not 1/0.35.
+        assert host.max_sustainable_scale() == pytest.approx(2.0)
+
+    def test_idle_host_unbounded(self):
+        assert HostModel(make_spec()).max_sustainable_scale() == float("inf")
+
+    def test_oversubscribed_below_one(self):
+        host = HostModel(make_spec())
+        host.usage = ResourceUsage(cpu_cycles=2e9)
+        assert host.max_sustainable_scale() == pytest.approx(0.5)

@@ -1,0 +1,115 @@
+"""Discrete-event simulation kernel."""
+
+import pytest
+
+from repro.common.simclock import SimClock
+
+
+class TestScheduling:
+    def test_events_fire_in_time_order(self):
+        clock = SimClock()
+        fired = []
+        clock.schedule(3.0, lambda: fired.append("c"))
+        clock.schedule(1.0, lambda: fired.append("a"))
+        clock.schedule(2.0, lambda: fired.append("b"))
+        clock.run()
+        assert fired == ["a", "b", "c"]
+
+    def test_fifo_tie_break(self):
+        clock = SimClock()
+        fired = []
+        for tag in "abc":
+            clock.schedule(1.0, lambda t=tag: fired.append(t))
+        clock.run()
+        assert fired == ["a", "b", "c"]
+
+    def test_now_advances_to_event_time(self):
+        clock = SimClock()
+        seen = []
+        clock.schedule(5.0, lambda: seen.append(clock.now))
+        clock.run()
+        assert seen == [5.0]
+        assert clock.now == 5.0
+
+    def test_schedule_at_absolute_time(self):
+        clock = SimClock(start=10.0)
+        seen = []
+        clock.schedule_at(12.5, lambda: seen.append(clock.now))
+        clock.run()
+        assert seen == [12.5]
+
+    def test_negative_delay_rejected(self):
+        clock = SimClock()
+        with pytest.raises(ValueError):
+            clock.schedule(-1.0, lambda: None)
+
+    def test_events_scheduled_during_run(self):
+        clock = SimClock()
+        fired = []
+
+        def first():
+            fired.append("first")
+            clock.schedule(1.0, lambda: fired.append("second"))
+
+        clock.schedule(1.0, first)
+        clock.run()
+        assert fired == ["first", "second"]
+        assert clock.now == 2.0
+
+
+class TestCancellation:
+    def test_cancelled_event_does_not_fire(self):
+        clock = SimClock()
+        fired = []
+        handle = clock.schedule(1.0, lambda: fired.append("x"))
+        handle.cancel()
+        clock.run()
+        assert fired == []
+
+    def test_cancelled_events_not_pending(self):
+        clock = SimClock()
+        handle = clock.schedule(1.0, lambda: None)
+        clock.schedule(2.0, lambda: None)
+        handle.cancel()
+        assert clock.pending == 1
+
+
+class TestPeriodic:
+    def test_every_until_deadline(self):
+        clock = SimClock()
+        ticks = []
+        clock.every(1.0, lambda: ticks.append(clock.now), until=5.0)
+        clock.run()
+        assert ticks == [1.0, 2.0, 3.0, 4.0, 5.0]
+
+    def test_every_requires_positive_interval(self):
+        clock = SimClock()
+        with pytest.raises(ValueError):
+            clock.every(0.0, lambda: None)
+
+    def test_run_until_stops_midway(self):
+        clock = SimClock()
+        ticks = []
+        clock.every(1.0, lambda: ticks.append(clock.now), until=10.0)
+        clock.run_until(3.5)
+        assert ticks == [1.0, 2.0, 3.0]
+        assert clock.now == 3.5
+
+    def test_runaway_guard(self):
+        clock = SimClock()
+        clock.every(1.0, lambda: None)  # no until: infinite recurrence
+        with pytest.raises(RuntimeError):
+            clock.run(max_events=100)
+
+
+class TestStep:
+    def test_step_returns_false_when_empty(self):
+        assert SimClock().step() is False
+
+    def test_step_fires_single_event(self):
+        clock = SimClock()
+        fired = []
+        clock.schedule(1.0, lambda: fired.append(1))
+        clock.schedule(2.0, lambda: fired.append(2))
+        assert clock.step() is True
+        assert fired == [1]

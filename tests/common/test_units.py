@@ -1,0 +1,58 @@
+"""Unit-conversion helpers."""
+
+import pytest
+
+from repro.common import units
+
+
+class TestByteUnits:
+    def test_decimal_prefixes(self):
+        assert units.kilobytes(1) == 1_000
+        assert units.megabytes(1) == 1_000_000
+        assert units.gigabytes(1) == 1_000_000_000
+        assert units.terabytes(1) == 1_000_000_000_000
+        assert units.petabytes(1) == 1_000_000_000_000_000
+
+    def test_binary_prefixes(self):
+        assert units.mebibytes(1) == 1 << 20
+        assert units.mebibytes(1.25) == 1_310_720
+
+    def test_fractional_amounts(self):
+        assert units.petabytes(0.15) == pytest.approx(0.15e15)
+
+    def test_round_trips(self):
+        assert units.to_gb(units.gigabytes(7.5)) == pytest.approx(7.5)
+        assert units.to_pb(units.petabytes(13.45)) == pytest.approx(13.45)
+
+
+class TestBandwidthUnits:
+    def test_gbps_is_bits(self):
+        # 12.5 Gbps NIC = 1.5625 GB/s per direction.
+        assert units.gbps(12.5) == pytest.approx(1.5625e9)
+
+    def test_mbps(self):
+        assert units.mbps(8) == pytest.approx(1e6)
+
+    def test_to_gbps_round_trip(self):
+        assert units.to_gbps(units.gbps(100)) == pytest.approx(100)
+
+
+class TestTimeUnits:
+    def test_minutes_hours_days(self):
+        assert units.minutes(2) == 120
+        assert units.hours(1) == 3_600
+        assert units.days(1) == 86_400
+
+    def test_day_is_24_hours(self):
+        assert units.days(1) == units.hours(24)
+
+
+class TestHumanBytes:
+    def test_scales(self):
+        assert units.human_bytes(512) == "512 B"
+        assert units.human_bytes(1_500_000) == "1.50 MB"
+        assert units.human_bytes(2.5e9) == "2.50 GB"
+        assert units.human_bytes(13.45e15) == "13.45 PB"
+
+    def test_exact_boundary(self):
+        assert units.human_bytes(1_000) == "1.00 KB"

@@ -1,0 +1,43 @@
+"""Shared DPP fixtures: a published miniature table plus session spec."""
+
+import pytest
+
+from repro.dwrf import EncodingOptions
+from repro.tectonic import TectonicFilesystem
+from repro.transforms import FirstX, Logit, SigridHash, TransformDag
+from repro.warehouse import DatasetProfile, SampleGenerator, Table, publish_table
+from repro.dpp import SessionSpec
+
+
+@pytest.fixture(scope="module")
+def published():
+    """(filesystem, schema, footers, spec_kwargs) for session tests."""
+    profile = DatasetProfile(
+        n_dense=10, n_sparse=5, n_scored=1, avg_coverage=0.6, avg_sparse_length=5.0
+    )
+    generator = SampleGenerator(profile, seed=13)
+    schema = generator.build_schema("dpp_table")
+    table = Table(schema)
+    generator.populate_table(table, ["d0", "d1"], 256)
+    filesystem = TectonicFilesystem(n_nodes=6)
+    footers = publish_table(filesystem, table, EncodingOptions(stripe_rows=64))
+    return filesystem, schema, footers, table
+
+
+def make_spec(schema, partitions=("d0", "d1"), batch_size=64, **overrides):
+    dense_ids = [s.feature_id for s in schema if s.name.startswith("dense_")][:3]
+    sparse_ids = [s.feature_id for s in schema if s.name.startswith("sparse_")][:3]
+    dag = TransformDag()
+    dag.add(900, Logit(dense_ids[0]))
+    dag.add(901, FirstX(sparse_ids[0], 3))
+    dag.add(902, SigridHash(901, 1_000))
+    defaults = dict(
+        table_name="dpp_table",
+        partitions=tuple(partitions),
+        projection=frozenset(dense_ids + sparse_ids),
+        dag=dag,
+        output_ids=(900, 902, dense_ids[1]),
+        batch_size=batch_size,
+    )
+    defaults.update(overrides)
+    return SessionSpec(**defaults)

@@ -1,0 +1,93 @@
+"""The auto-scaling controller."""
+
+import pytest
+
+from repro.common.errors import DppError
+from repro.dpp import AutoscalerConfig, AutoscalingController, WorkerTelemetry
+
+
+def telemetry(buffered, cpu=0.9, mem=0.3, net=0.3, n=4):
+    return [
+        WorkerTelemetry(f"w{i}", buffered, cpu, mem, net) for i in range(n)
+    ]
+
+
+class TestConfig:
+    def test_thresholds_validated(self):
+        with pytest.raises(DppError):
+            AutoscalerConfig(min_buffered_per_worker=5, drain_buffered_per_worker=4)
+        with pytest.raises(DppError):
+            AutoscalerConfig(low_utilization=0.0)
+        with pytest.raises(DppError):
+            AutoscalerConfig(min_workers=0)
+        with pytest.raises(DppError):
+            AutoscalerConfig(scale_up_step=0)
+
+
+class TestDecisions:
+    def test_empty_buffers_scale_up(self):
+        controller = AutoscalingController()
+        decision = controller.evaluate(telemetry(buffered=0))
+        assert decision.action == "launch"
+        assert decision.delta == controller.config.scale_up_step
+
+    def test_healthy_fleet_holds(self):
+        controller = AutoscalingController()
+        decision = controller.evaluate(telemetry(buffered=3, cpu=0.9))
+        assert decision.action == "hold"
+
+    def test_overfull_and_idle_drains(self):
+        controller = AutoscalingController()
+        decision = controller.evaluate(telemetry(buffered=10, cpu=0.2, mem=0.1, net=0.1))
+        assert decision.action == "drain"
+
+    def test_overfull_but_busy_holds(self):
+        """Full buffers with high utilization is steady state, not waste."""
+        controller = AutoscalingController()
+        decision = controller.evaluate(telemetry(buffered=10, cpu=0.9))
+        assert decision.action == "hold"
+
+    def test_no_workers_launches(self):
+        controller = AutoscalingController()
+        decision = controller.evaluate([])
+        assert decision.action == "launch"
+
+    def test_min_workers_respected(self):
+        controller = AutoscalingController(AutoscalerConfig(min_workers=4))
+        decision = controller.evaluate(
+            telemetry(buffered=10, cpu=0.1, mem=0.1, net=0.1, n=4)
+        )
+        assert decision.action == "hold"
+
+    def test_max_workers_caps_scale_up(self):
+        controller = AutoscalingController(AutoscalerConfig(max_workers=4))
+        decision = controller.evaluate(telemetry(buffered=0, n=4))
+        assert decision.delta == 0
+
+    def test_drain_limited_to_excess(self):
+        controller = AutoscalingController(
+            AutoscalerConfig(min_workers=3, drain_step=5)
+        )
+        decision = controller.evaluate(
+            telemetry(buffered=10, cpu=0.1, mem=0.1, net=0.1, n=4)
+        )
+        assert decision.delta == -1
+
+    def test_decisions_recorded(self):
+        controller = AutoscalingController()
+        controller.evaluate(telemetry(buffered=0))
+        controller.evaluate(telemetry(buffered=3))
+        assert len(controller.decisions) == 2
+
+    def test_mixed_fleet_uses_means(self):
+        controller = AutoscalingController()
+        mixed = telemetry(buffered=0, n=2) + telemetry(buffered=8, n=2)
+        # Mean buffered = 4: in band, so hold.
+        decision = controller.evaluate(mixed)
+        assert decision.action == "hold"
+
+
+class TestTelemetry:
+    def test_max_utilization(self):
+        report = WorkerTelemetry("w", 1, 0.3, 0.8, 0.5)
+        assert report.max_utilization == 0.8

@@ -1,0 +1,137 @@
+"""End-to-end DPP sessions: the pump, scaling, and fault injection."""
+
+import pytest
+
+from repro.common.errors import DppError
+from repro.dpp import AutoscalerConfig, DppSession, SessionSpec, WorkerConfig
+from repro.transforms import TransformDag
+
+from .conftest import make_spec
+
+
+def make_session(published, **kwargs):
+    filesystem, schema, footers, _ = published
+    spec_overrides = kwargs.pop("spec_overrides", {})
+    spec = make_spec(schema, **spec_overrides)
+    return DppSession(spec, filesystem, schema, footers, **kwargs)
+
+
+class TestSessionSpec:
+    def test_validation(self, published):
+        _, schema, _, _ = published
+        with pytest.raises(DppError):
+            make_spec(schema, partitions=())
+        with pytest.raises(DppError):
+            make_spec(schema, batch_size=0)
+        with pytest.raises(DppError):
+            make_spec(schema, split_stripes=0)
+
+    def test_dag_inputs_must_be_projected(self, published):
+        _, schema, _, _ = published
+        from repro.transforms import Logit
+
+        dag = TransformDag().add(999, Logit(123_456))
+        with pytest.raises(DppError):
+            SessionSpec(
+                table_name="t", partitions=("p",), projection=frozenset({1}), dag=dag
+            )
+
+    def test_effective_outputs_default_to_dag(self, published):
+        _, schema, _, _ = published
+        spec = make_spec(schema, output_ids=())
+        assert spec.effective_output_ids() == spec.dag.output_ids()
+
+
+class TestPump:
+    def test_processes_every_row_exactly_once(self, published):
+        _, _, _, table = published
+        session = make_session(published, n_workers=3, n_clients=2)
+        report = session.pump()
+        assert report.rows_processed == table.total_rows()
+
+    def test_delivered_batches_cover_all_rows(self, published):
+        _, _, _, table = published
+        session = make_session(published, n_workers=2)
+        report = session.pump()
+        assert report.batches_delivered > 0
+        produced = sum(w.stats.batches_produced for w in session.workers)
+        assert report.batches_delivered == produced
+
+    def test_single_worker_single_client(self, published):
+        _, _, _, table = published
+        session = make_session(published, n_workers=1, n_clients=1)
+        report = session.pump()
+        assert report.rows_processed == table.total_rows()
+
+    def test_session_requires_workers(self, published):
+        with pytest.raises(DppError):
+            make_session(published, n_workers=0)
+
+    def test_report_accounting(self, published):
+        session = make_session(published)
+        report = session.pump()
+        assert report.storage_rx_bytes > 0
+        assert report.tensor_bytes_delivered > 0
+        assert report.peak_workers >= 2
+
+
+class TestFaultTolerance:
+    def test_worker_death_mid_session(self, published):
+        _, _, _, table = published
+        session = make_session(published, n_workers=3)
+        victim = session.workers[0]
+        victim.process_one_split()
+        rows_before_death = victim.stats.rows_processed
+        victim.fail()
+        report = session.pump()
+        # The dead worker's buffered work was requeued: every row is
+        # still processed (its pre-death rows were re-extracted).
+        assert report.rows_processed >= table.total_rows()
+        assert rows_before_death > 0
+
+    def test_master_failover_mid_session(self, published):
+        _, _, _, table = published
+        session = make_session(published, n_workers=2)
+        for worker in session.workers:
+            worker.process_one_split()
+        session.master.fail_over()
+        report = session.pump()
+        assert report.rows_processed >= table.total_rows()
+        assert session.master.done
+
+    def test_all_workers_dead_stalls(self, published):
+        session = make_session(published, n_workers=1)
+        session.workers[0].fail()
+        with pytest.raises(DppError):
+            session.pump()
+
+
+class TestScaling:
+    def test_manual_scale_up(self, published):
+        session = make_session(published, n_workers=1)
+        session.scale(+2)
+        assert len(session.live_workers) == 3
+        report = session.pump()
+        assert report.peak_workers == 3
+
+    def test_manual_drain(self, published):
+        session = make_session(published, n_workers=3)
+        session.scale(-2)
+        assert len(session.live_workers) == 1
+        session.pump()  # still completes with one worker
+
+    def test_autoscaler_launches_on_empty_buffers(self, published):
+        session = make_session(
+            published,
+            n_workers=1,
+            autoscaler_config=AutoscalerConfig(scale_up_step=2),
+        )
+        delta = session.run_autoscaler()
+        assert delta == 2
+        assert len(session.live_workers) == 3
+        assert session.report.scaling_events
+
+    def test_autoscaler_event_log(self, published):
+        session = make_session(published, n_workers=1)
+        session.run_autoscaler()
+        assert any("launch" in event for event in session.report.scaling_events)

@@ -1,0 +1,18 @@
+"""Shared fixtures: a small RM-shaped table for format tests."""
+
+import pytest
+
+from repro.warehouse import DatasetProfile, SampleGenerator, Table
+
+
+@pytest.fixture(scope="module")
+def small_dataset():
+    """(schema, rows) for a table with all three feature types."""
+    profile = DatasetProfile(
+        n_dense=12, n_sparse=6, n_scored=2, avg_coverage=0.5, avg_sparse_length=6.0
+    )
+    generator = SampleGenerator(profile, seed=7)
+    schema = generator.build_schema("fixture_table")
+    table = Table(schema)
+    generator.populate_table(table, ["p0"], 300)
+    return schema, list(table.scan())

@@ -1,0 +1,135 @@
+"""Stream codecs: varints, bulk ints, floats, bitmaps, seal/unseal."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.common.errors import FormatError
+from repro.dwrf import encoding
+
+
+class TestVarints:
+    def test_round_trip_basic(self):
+        values = [0, 1, -1, 127, 128, -128, 300, 10**9, -(10**9)]
+        assert encoding.decode_varints(encoding.encode_varints(values)) == values
+
+    def test_empty(self):
+        assert encoding.decode_varints(b"") == []
+
+    def test_truncated_stream_rejected(self):
+        data = encoding.encode_varints([300])
+        with pytest.raises(FormatError):
+            encoding.decode_varints(data[:-1])
+
+    @given(st.lists(st.integers(min_value=-(2**40), max_value=2**40), max_size=50))
+    def test_round_trip_property(self, values):
+        assert encoding.decode_varints(encoding.encode_varints(values)) == values
+
+    def test_zigzag_small_magnitudes_small(self):
+        assert encoding.zigzag_encode(0) == 0
+        assert encoding.zigzag_encode(-1) == 1
+        assert encoding.zigzag_encode(1) == 2
+        for value in (-5, 5, -1000, 1000):
+            assert encoding.zigzag_decode(encoding.zigzag_encode(value)) == value
+
+
+class TestBulkInts:
+    def test_round_trip_small(self):
+        values = [0, 1, -7, 2**30]
+        out = encoding.decode_ints(encoding.encode_ints(values))
+        assert out.tolist() == values
+
+    def test_wide_values_use_8_bytes(self):
+        data = encoding.encode_ints([2**40])
+        assert data[0] == 8
+        assert encoding.decode_ints(data).tolist() == [2**40]
+
+    def test_narrow_values_use_4_bytes(self):
+        data = encoding.encode_ints([1, 2, 3])
+        assert data[0] == 4
+        assert len(data) == 1 + 12
+
+    def test_empty_array(self):
+        assert encoding.decode_ints(encoding.encode_ints([])).size == 0
+
+    def test_empty_stream_rejected(self):
+        with pytest.raises(FormatError):
+            encoding.decode_ints(b"")
+
+    def test_bad_width_rejected(self):
+        with pytest.raises(FormatError):
+            encoding.decode_ints(b"\x05abcd")
+
+    def test_misaligned_payload_rejected(self):
+        with pytest.raises(FormatError):
+            encoding.decode_ints(b"\x04abc")
+
+    @given(st.lists(st.integers(min_value=-(2**62), max_value=2**62), max_size=100))
+    def test_round_trip_property(self, values):
+        out = encoding.decode_ints(encoding.encode_ints(values))
+        assert out.tolist() == values
+
+
+class TestFloats:
+    def test_round_trip_float32_exact(self):
+        values = [0.0, 1.5, -2.25, 1024.0]
+        assert encoding.unpack_floats(encoding.pack_floats(values)) == values
+
+    def test_precision_is_float32(self):
+        [value] = encoding.unpack_floats(encoding.pack_floats([1/3]))
+        assert value == pytest.approx(1/3, rel=1e-6)
+        assert value != 1/3  # float64 third does not survive
+
+    def test_misaligned_rejected(self):
+        with pytest.raises(FormatError):
+            encoding.unpack_floats(b"abc")
+
+
+class TestBitmaps:
+    def test_round_trip(self):
+        bits = [True, False, True, True, False, False, True, False, True]
+        packed = encoding.pack_bitmap(bits)
+        assert encoding.unpack_bitmap(packed, len(bits)) == bits
+
+    def test_partial_byte(self):
+        packed = encoding.pack_bitmap([True, False, True])
+        assert len(packed) == 1
+        assert encoding.unpack_bitmap(packed, 3) == [True, False, True]
+
+    def test_count_beyond_data_rejected(self):
+        with pytest.raises(FormatError):
+            encoding.unpack_bitmap(b"\x01", 9)
+
+    @given(st.lists(st.booleans(), min_size=1, max_size=200))
+    def test_round_trip_property(self, bits):
+        packed = encoding.pack_bitmap(bits)
+        assert encoding.unpack_bitmap(packed, len(bits)) == bits
+
+
+class TestSeal:
+    def test_round_trip_all_modes(self):
+        payload = b"the quick brown fox" * 10
+        for compress in (True, False):
+            for encrypt in (True, False):
+                sealed = encoding.seal(payload, compress=compress, encrypt=encrypt)
+                assert encoding.unseal(sealed, compress=compress, encrypt=encrypt) == payload
+
+    def test_compression_shrinks_redundancy(self):
+        payload = b"a" * 10_000
+        assert len(encoding.seal(payload)) < len(payload) // 10
+
+    def test_encryption_changes_bytes(self):
+        payload = b"secret features"
+        sealed = encoding.seal(payload, compress=False, encrypt=True)
+        assert sealed != payload
+        assert len(sealed) == len(payload)
+
+    def test_corrupt_stream_detected(self):
+        sealed = encoding.seal(b"payload bytes here")
+        corrupted = bytes([sealed[0] ^ 0xFF]) + sealed[1:]
+        with pytest.raises(FormatError):
+            encoding.unseal(corrupted)
+
+    @given(st.binary(max_size=500))
+    def test_seal_round_trip_property(self, payload):
+        assert encoding.unseal(encoding.seal(payload)) == payload

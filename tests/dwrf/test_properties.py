@@ -1,0 +1,103 @@
+"""Property-based tests: DWRF round-trips on adversarial row content."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.dwrf import DwrfReader, EncodingOptions, FileLayout, ReadOptions, write_table_partition
+from repro.warehouse import FeatureSpec, FeatureType, Row, TableSchema
+
+DENSE_ID, SPARSE_ID, SCORED_ID = 1, 2, 3
+
+
+def make_schema():
+    schema = TableSchema("prop")
+    schema.add_feature(FeatureSpec(DENSE_ID, "d", FeatureType.DENSE))
+    schema.add_feature(
+        FeatureSpec(SPARSE_ID, "s", FeatureType.SPARSE, avg_sparse_length=3)
+    )
+    schema.add_feature(
+        FeatureSpec(SCORED_ID, "w", FeatureType.SCORED_SPARSE, avg_sparse_length=3)
+    )
+    return schema
+
+
+# Adversarial content: empty lists, huge and negative IDs, extreme
+# floats (but finite — NaN cannot round-trip equality checks).
+sparse_lists = st.lists(
+    st.integers(min_value=-(2**50), max_value=2**50), max_size=8
+)
+dense_values = st.floats(
+    min_value=-9.999999843067494e+17, max_value=9.999999843067494e+17, allow_nan=False,
+    allow_infinity=False, width=32,
+)
+
+
+@st.composite
+def rows(draw):
+    row = Row(label=float(draw(st.integers(0, 1))))
+    if draw(st.booleans()):
+        row.dense[DENSE_ID] = float(draw(dense_values))
+    if draw(st.booleans()):
+        row.sparse[SPARSE_ID] = draw(sparse_lists)
+    if draw(st.booleans()):
+        ids = draw(sparse_lists)
+        row.sparse[SCORED_ID] = ids
+        row.scores[SCORED_ID] = [
+            float(draw(st.floats(0, 1, allow_nan=False, width=32)))
+            for _ in ids
+        ]
+    return row
+
+
+def assert_round_trip(original, decoded):
+    assert decoded.label == original.label
+    assert set(decoded.dense) == set(original.dense)
+    for fid, value in original.dense.items():
+        import numpy as np
+
+        assert decoded.dense[fid] == float(np.float32(value))
+    assert decoded.sparse == original.sparse
+
+
+class TestAdversarialRoundTrips:
+    @given(st.lists(rows(), min_size=1, max_size=40))
+    @settings(max_examples=40, deadline=None)
+    def test_flattened_round_trip(self, row_list):
+        schema = make_schema()
+        dwrf = write_table_partition(
+            row_list, schema, EncodingOptions(stripe_rows=7)
+        )
+        decoded = list(DwrfReader.for_file(dwrf).read_rows(schema))
+        assert len(decoded) == len(row_list)
+        for original, back in zip(row_list, decoded):
+            assert_round_trip(original, back)
+
+    @given(st.lists(rows(), min_size=1, max_size=40))
+    @settings(max_examples=40, deadline=None)
+    def test_map_round_trip(self, row_list):
+        schema = make_schema()
+        dwrf = write_table_partition(
+            row_list, schema,
+            EncodingOptions(layout=FileLayout.MAP, stripe_rows=7),
+        )
+        decoded = list(DwrfReader.for_file(dwrf).read_rows(schema))
+        for original, back in zip(row_list, decoded):
+            assert_round_trip(original, back)
+
+    @given(st.lists(rows(), min_size=1, max_size=30), st.integers(0, 2**21))
+    @settings(max_examples=25, deadline=None)
+    def test_projection_with_any_window(self, row_list, window):
+        schema = make_schema()
+        dwrf = write_table_partition(
+            row_list, schema, EncodingOptions(stripe_rows=5)
+        )
+        reader = DwrfReader.for_file(
+            dwrf,
+            ReadOptions(projection=frozenset({SPARSE_ID}), coalesce_window=window),
+        )
+        decoded = list(reader.read_rows(schema))
+        for original, back in zip(row_list, decoded):
+            assert back.sparse.get(SPARSE_ID, []) == original.sparse.get(
+                SPARSE_ID, []
+            ) or (SPARSE_ID not in original.sparse and SPARSE_ID not in back.sparse)
+        # Coalescing never drops useful bytes.
+        assert reader.trace.useful_bytes <= reader.trace.bytes_read

@@ -1,0 +1,177 @@
+"""DWRF writer/reader round-trips, layouts, and footer invariants."""
+
+import pytest
+
+from repro.common.errors import FormatError
+from repro.dwrf import (
+    DwrfReader,
+    DwrfWriter,
+    EncodingOptions,
+    FileLayout,
+    ReadOptions,
+    StreamKind,
+    write_table_partition,
+)
+from repro.dwrf.stream import ROW_LEVEL
+
+
+def rows_equal(a, b):
+    if a.label != b.label or set(a.dense) != set(b.dense):
+        return False
+    if a.sparse != b.sparse:
+        return False
+    for fid in set(a.scores) | set(b.scores):
+        if len(a.scores.get(fid, [])) != len(b.scores.get(fid, [])):
+            return False
+        for x, y in zip(a.scores[fid], b.scores[fid]):
+            if abs(x - y) > 1e-6:
+                return False
+    return True
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("layout", [FileLayout.MAP, FileLayout.FLATTENED])
+    def test_full_round_trip(self, small_dataset, layout):
+        schema, rows = small_dataset
+        dwrf = write_table_partition(
+            rows, schema, EncodingOptions(layout=layout, stripe_rows=64)
+        )
+        back = list(DwrfReader.for_file(dwrf).read_rows(schema))
+        assert len(back) == len(rows)
+        assert all(rows_equal(a, b) for a, b in zip(rows, back))
+
+    @pytest.mark.parametrize("compress,encrypt", [(True, False), (False, True), (False, False)])
+    def test_round_trip_without_seal_layers(self, small_dataset, compress, encrypt):
+        schema, rows = small_dataset
+        dwrf = write_table_partition(
+            rows[:50], schema,
+            EncodingOptions(stripe_rows=32, compress=compress, encrypt=encrypt),
+        )
+        back = list(DwrfReader.for_file(dwrf).read_rows(schema))
+        assert all(rows_equal(a, b) for a, b in zip(rows, back))
+
+    def test_partial_final_stripe(self, small_dataset):
+        schema, rows = small_dataset
+        dwrf = write_table_partition(rows[:100], schema, EncodingOptions(stripe_rows=64))
+        assert [s.row_count for s in dwrf.footer.stripes] == [64, 36]
+        assert dwrf.footer.row_count == 100
+
+    def test_projection_round_trip(self, small_dataset):
+        schema, rows = small_dataset
+        dwrf = write_table_partition(rows, schema, EncodingOptions(stripe_rows=64))
+        keep = frozenset(schema.feature_ids()[:4])
+        reader = DwrfReader.for_file(dwrf, ReadOptions(projection=keep))
+        for original, projected in zip(rows, reader.read_rows(schema)):
+            assert projected.feature_ids() <= keep
+            assert projected.label == original.label
+            for fid in keep & set(original.sparse):
+                assert projected.sparse[fid] == original.sparse[fid]
+
+    def test_map_layout_projection_applies_after_decode(self, small_dataset):
+        schema, rows = small_dataset
+        dwrf = write_table_partition(
+            rows, schema, EncodingOptions(layout=FileLayout.MAP, stripe_rows=64)
+        )
+        keep = frozenset(schema.feature_ids()[:2])
+        reader = DwrfReader.for_file(dwrf, ReadOptions(projection=keep))
+        projected = list(reader.read_rows(schema))
+        assert all(row.feature_ids() <= keep for row in projected)
+        # Even so, the whole file was read: MAP cannot filter physically.
+        assert reader.trace.bytes_read == dwrf.size
+
+
+class TestWriter:
+    def test_writer_rejects_use_after_close(self, small_dataset):
+        schema, rows = small_dataset
+        writer = DwrfWriter(schema)
+        writer.write_row(rows[0])
+        writer.close()
+        with pytest.raises(FormatError):
+            writer.write_row(rows[1])
+        with pytest.raises(FormatError):
+            writer.close()
+
+    def test_stripe_rows_must_be_positive(self):
+        with pytest.raises(FormatError):
+            EncodingOptions(stripe_rows=0)
+
+    def test_flattened_skips_absent_features(self, small_dataset):
+        schema, rows = small_dataset
+        # Rows stripped to one feature: others must write no streams.
+        fid = schema.feature_ids()[0]
+        stripped = [row.project({fid}) for row in rows[:50]]
+        dwrf = write_table_partition(stripped, schema, EncodingOptions(stripe_rows=50))
+        stripe = dwrf.footer.stripes[0]
+        feature_ids = {info.feature_id for info in stripe.streams} - {ROW_LEVEL}
+        assert feature_ids <= {fid}
+
+
+class TestFooter:
+    def test_footer_validates(self, small_dataset):
+        schema, rows = small_dataset
+        dwrf = write_table_partition(rows, schema, EncodingOptions(stripe_rows=64))
+        dwrf.footer.validate()  # must not raise
+        assert dwrf.footer.data_length == len(dwrf.data)
+
+    def test_streams_contiguous_and_ordered(self, small_dataset):
+        schema, rows = small_dataset
+        dwrf = write_table_partition(rows, schema, EncodingOptions(stripe_rows=64))
+        cursor = 0
+        for stripe in dwrf.footer.stripes:
+            for info in stripe.streams:
+                assert info.offset == cursor
+                cursor = info.end
+        assert cursor == dwrf.size
+
+    def test_stream_lookup(self, small_dataset):
+        schema, rows = small_dataset
+        dwrf = write_table_partition(rows, schema, EncodingOptions(stripe_rows=64))
+        stripe = dwrf.footer.stripes[0]
+        label = stripe.stream(ROW_LEVEL, StreamKind.LABEL)
+        assert label.length > 0
+        with pytest.raises(FormatError):
+            stripe.stream(999_999, StreamKind.PRESENCE)
+
+    def test_feature_order_controls_layout(self, small_dataset):
+        schema, rows = small_dataset
+        ids = schema.feature_ids()
+        reordered = tuple(reversed(ids))
+        dwrf = write_table_partition(
+            rows[:64], schema,
+            EncodingOptions(stripe_rows=64, feature_order=reordered),
+        )
+        stripe = dwrf.footer.stripes[0]
+        seen = []
+        for info in stripe.streams:
+            if info.feature_id != ROW_LEVEL and info.feature_id not in seen:
+                seen.append(info.feature_id)
+        present = [fid for fid in reordered if fid in set(seen)]
+        assert seen == present
+
+
+class TestChecksums:
+    def test_streams_carry_crcs(self, small_dataset):
+        schema, rows = small_dataset
+        dwrf = write_table_partition(rows[:64], schema, EncodingOptions(stripe_rows=64))
+        for stripe in dwrf.footer.stripes:
+            assert all(info.checksum != 0 for info in stripe.streams)
+
+    def test_corruption_detected_on_read(self, small_dataset):
+        schema, rows = small_dataset
+        dwrf = write_table_partition(rows[:64], schema, EncodingOptions(stripe_rows=64))
+        corrupted = bytearray(dwrf.data)
+        victim = dwrf.footer.stripes[0].streams[2]
+        corrupted[victim.offset] ^= 0xFF
+
+        def fetch(offset, length):
+            return bytes(corrupted[offset : offset + length])
+
+        reader = DwrfReader(dwrf.footer, fetch)
+        with pytest.raises(FormatError, match="checksum mismatch"):
+            reader.read_stripe(0, schema)
+
+    def test_clean_replica_passes_verification(self, small_dataset):
+        schema, rows = small_dataset
+        dwrf = write_table_partition(rows[:64], schema, EncodingOptions(stripe_rows=64))
+        back = list(DwrfReader.for_file(dwrf).read_rows(schema))
+        assert len(back) == 64

@@ -1,0 +1,91 @@
+"""Determinism: identical configurations produce identical results.
+
+Reproducibility is a first-class property of the experiment harness —
+every benchmark pins seeds, so any nondeterminism in the pipeline would
+silently invalidate the paper-vs-measured record.
+"""
+
+import numpy as np
+
+from repro.analysis import simulate_month_of_jobs
+from repro.cluster import generate_release_iteration
+from repro.dpp import DppSession, SessionSpec
+from repro.dwrf import EncodingOptions
+from repro.tectonic import TectonicFilesystem
+from repro.transforms import FirstX, SigridHash, TransformDag
+from repro.warehouse import DatasetProfile, SampleGenerator, Table, publish_table
+from repro.workloads import RM1, build_mini_dataset
+
+
+def build_session():
+    profile = DatasetProfile(n_dense=6, n_sparse=3, avg_coverage=0.7,
+                             avg_sparse_length=4.0)
+    generator = SampleGenerator(profile, seed=41)
+    schema = generator.build_schema("det_table")
+    table = Table(schema)
+    generator.populate_table(table, ["p0"], 150)
+    filesystem = TectonicFilesystem(n_nodes=6)
+    footers = publish_table(filesystem, table, EncodingOptions(stripe_rows=50))
+    sparse_id = [s.feature_id for s in schema if s.name.startswith("sparse_")][0]
+    dag = TransformDag()
+    dag.add(600, FirstX(sparse_id, 3))
+    dag.add(601, SigridHash(600, 1_000))
+    spec = SessionSpec(
+        table_name="det_table", partitions=("p0",),
+        projection=frozenset({sparse_id}), dag=dag, output_ids=(601,),
+        batch_size=50,
+    )
+    return DppSession(spec, filesystem, schema, footers, n_workers=2)
+
+
+def drain(session):
+    batches = []
+    for worker in session.workers:
+        while worker.process_one_split():
+            pass
+        while worker.buffer:
+            batches.append(worker.serve_batch())
+    return batches
+
+
+class TestPipelineDeterminism:
+    def test_sessions_produce_identical_tensors(self):
+        first = drain(build_session())
+        second = drain(build_session())
+        assert len(first) == len(second)
+        for a, b in zip(first, second):
+            assert np.array_equal(a.labels, b.labels)
+            for fid in a.sparse_values:
+                assert np.array_equal(a.sparse_values[fid], b.sparse_values[fid])
+                assert np.array_equal(a.sparse_offsets[fid], b.sparse_offsets[fid])
+
+    def test_published_bytes_identical(self):
+        def publish_once():
+            profile = DatasetProfile(n_dense=4, n_sparse=2, avg_coverage=0.8,
+                                     avg_sparse_length=3.0)
+            generator = SampleGenerator(profile, seed=42)
+            schema = generator.build_schema("t")
+            table = Table(schema)
+            generator.populate_table(table, ["p0"], 80)
+            from repro.dwrf import write_table_partition
+
+            return write_table_partition(list(table.scan()), schema).data
+
+        assert publish_once() == publish_once()
+
+    def test_mini_datasets_reproducible(self):
+        a = build_mini_dataset(RM1, ["p0"], 60, seed=9)
+        b = build_mini_dataset(RM1, ["p0"], 60, seed=9)
+        assert a.projection == b.projection
+        assert a.output_ids == b.output_ids
+        rows_a = list(a.table.scan())
+        rows_b = list(b.table.scan())
+        assert all(x.sparse == y.sparse for x, y in zip(rows_a, rows_b))
+
+    def test_generative_studies_reproducible(self):
+        pop_a = simulate_month_of_jobs(RM1, seed=3).curve
+        pop_b = simulate_month_of_jobs(RM1, seed=3).curve
+        assert [(p.x, p.y) for p in pop_a] == [(p.x, p.y) for p in pop_b]
+        rel_a = generate_release_iteration("m", 0.0, seed=4)
+        rel_b = generate_release_iteration("m", 0.0, seed=4)
+        assert [j.start_day for j in rel_a.jobs] == [j.start_day for j in rel_b.jobs]

@@ -1,0 +1,158 @@
+"""End-to-end pipeline: serving logs → ETL → warehouse → DWRF on
+Tectonic → DPP session → trainer consumption, with fault injection."""
+
+import pytest
+
+from repro.datagen import (
+    EVENTS_CATEGORY,
+    FEATURES_CATEGORY,
+    BatchPartitioner,
+    Scribe,
+    ScribeDaemon,
+    ServingSimulator,
+    StreamingJoiner,
+)
+from repro.dpp import DppClient, DppSession, SessionSpec, WorkerConfig
+from repro.dwrf import EncodingOptions
+from repro.tectonic import TectonicFilesystem
+from repro.trainer import TrainingNode
+from repro.transforms import Bucketize, FirstX, NGram, SigridHash, TransformDag
+from repro.warehouse import DatasetProfile, SampleGenerator, Table, publish_table
+from repro.workloads import V100_TRAINER
+
+
+@pytest.fixture(scope="module")
+def full_pipeline():
+    """Run the complete offline data-generation path once."""
+    profile = DatasetProfile(
+        n_dense=8, n_sparse=4, n_scored=1, avg_coverage=0.6, avg_sparse_length=5.0
+    )
+    generator = SampleGenerator(profile, seed=31)
+    schema = generator.build_schema("e2e_table")
+
+    # 1. Serving-time logging through Scribe daemons.
+    scribe = Scribe()
+    daemon = ScribeDaemon("web001", scribe, flush_threshold=64)
+    serving = ServingSimulator(schema, generator, daemon, seed=32)
+    serving.serve_many(600, rate_per_s=25)  # spans 24 virtual seconds
+
+    # 2. Streaming join + batch partitioning into the warehouse.
+    joiner = StreamingJoiner(scribe, FEATURES_CATEGORY, EVENTS_CATEGORY)
+    joiner.run_once(now=1e6)
+    table = Table(schema)
+    partitioner = BatchPartitioner(scribe, table, partition_period_s=8.0)
+    partitioner.run_once()
+
+    # 3. Publish partitions as DWRF files in Tectonic.
+    filesystem = TectonicFilesystem(n_nodes=6)
+    footers = publish_table(filesystem, table, EncodingOptions(stripe_rows=64))
+    return schema, table, filesystem, footers
+
+
+def build_spec(schema, table, coalesce=0):
+    dense_ids = [s.feature_id for s in schema if s.name.startswith("dense_")][:4]
+    sparse_ids = [s.feature_id for s in schema if not s.name.startswith("dense_")][:3]
+    dag = TransformDag()
+    dag.add(700, Bucketize(dense_ids[0], [-1.0, 0.0, 1.0]))
+    dag.add(701, FirstX(sparse_ids[0], 3))
+    dag.add(702, NGram([700, 701], n=2))
+    dag.add(703, SigridHash(702, 10_000))
+    return SessionSpec(
+        table_name=table.name,
+        partitions=tuple(table.partition_names()),
+        projection=frozenset(dense_ids + sparse_ids),
+        dag=dag,
+        output_ids=(703, dense_ids[1]),
+        batch_size=32,
+        coalesce_window=coalesce,
+    )
+
+
+class TestOfflineGeneration:
+    def test_warehouse_populated_from_logs(self, full_pipeline):
+        schema, table, _, _ = full_pipeline
+        assert table.total_rows() > 500
+        assert len(table) >= 3  # several dated partitions
+
+    def test_published_files_match_partitions(self, full_pipeline):
+        schema, table, filesystem, footers = full_pipeline
+        assert set(footers) == set(table.partition_names())
+        for name in filesystem.list_files():
+            assert filesystem.file(name).sealed
+
+    def test_footer_row_counts_match_table(self, full_pipeline):
+        _, table, _, footers = full_pipeline
+        published_rows = sum(f.row_count for f in footers.values())
+        assert published_rows == table.total_rows()
+
+
+class TestOnlinePreprocessing:
+    def test_session_delivers_every_sample(self, full_pipeline):
+        schema, table, filesystem, footers = full_pipeline
+        spec = build_spec(schema, table)
+        session = DppSession(spec, filesystem, schema, footers, n_workers=3,
+                             n_clients=2)
+        report = session.pump()
+        assert report.rows_processed == table.total_rows()
+        delivered_rows = sum(
+            client.stats.batches_received for client in session.clients
+        )
+        assert delivered_rows == report.batches_delivered
+
+    def test_coalesced_session_equivalent(self, full_pipeline):
+        schema, table, filesystem, footers = full_pipeline
+        plain = DppSession(
+            build_spec(schema, table), filesystem, schema, footers, n_workers=2
+        )
+        coalesced = DppSession(
+            build_spec(schema, table, coalesce=1 << 20),
+            filesystem, schema, footers, n_workers=2,
+        )
+        report_a = plain.pump()
+        report_b = coalesced.pump()
+        assert report_a.rows_processed == report_b.rows_processed
+        # Coalescing fetches more raw bytes across fewer I/Os.
+        ios_a = sum(w.io_trace.io_count for w in plain.workers)
+        ios_b = sum(w.io_trace.io_count for w in coalesced.workers)
+        assert ios_b < ios_a
+
+    def test_trainer_consumes_session(self, full_pipeline):
+        schema, table, filesystem, footers = full_pipeline
+        spec = build_spec(schema, table)
+        session = DppSession(spec, filesystem, schema, footers, n_workers=2)
+        for worker in session.workers:
+            while worker.process_one_split():
+                pass
+        node = TrainingNode(
+            V100_TRAINER, DppClient("t0", session.workers, max_connections=2)
+        )
+        progress = node.train_until_exhausted()
+        assert progress.samples == table.total_rows()
+        assert progress.bytes_ingested > 0
+
+
+class TestFaultInjectionEndToEnd:
+    def test_worker_crash_and_master_failover(self, full_pipeline):
+        schema, table, filesystem, footers = full_pipeline
+        spec = build_spec(schema, table)
+        session = DppSession(spec, filesystem, schema, footers, n_workers=3)
+        session.workers[0].process_one_split()
+        session.workers[0].fail()
+        session.master.fail_over()
+        session.scale(+1)
+        report = session.pump()
+        assert report.rows_processed >= table.total_rows()
+        assert session.master.done
+
+    def test_row_and_flatmap_paths_agree_end_to_end(self, full_pipeline):
+        schema, table, filesystem, footers = full_pipeline
+        spec = build_spec(schema, table)
+        flat = DppSession(
+            spec, filesystem, schema, footers, n_workers=1,
+            worker_config=WorkerConfig(in_memory_flatmap=True),
+        )
+        rowpath = DppSession(
+            spec, filesystem, schema, footers, n_workers=1,
+            worker_config=WorkerConfig(in_memory_flatmap=False),
+        )
+        assert flat.pump().rows_processed == rowpath.pump().rows_processed

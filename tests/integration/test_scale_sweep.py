@@ -1,0 +1,77 @@
+"""Conservation sweeps: rows and batches conserved at any fleet shape."""
+
+import pytest
+
+from repro.dpp import DppSession
+from repro.dwrf import EncodingOptions, FileLayout
+from repro.tectonic import TectonicFilesystem
+from repro.transforms import FirstX, SigridHash, TransformDag
+from repro.warehouse import DatasetProfile, SampleGenerator, Table, publish_table
+from repro.dpp.spec import SessionSpec
+
+
+@pytest.fixture(scope="module", params=[FileLayout.FLATTENED, FileLayout.MAP])
+def published_layout(request):
+    profile = DatasetProfile(n_dense=5, n_sparse=3, avg_coverage=0.7,
+                             avg_sparse_length=4.0)
+    generator = SampleGenerator(profile, seed=51)
+    schema = generator.build_schema("sweep_table")
+    table = Table(schema)
+    generator.populate_table(table, ["p0", "p1", "p2"], 90)
+    filesystem = TectonicFilesystem(n_nodes=6)
+    footers = publish_table(
+        filesystem, table,
+        EncodingOptions(layout=request.param, stripe_rows=30),
+    )
+    return filesystem, schema, footers, table
+
+
+def build_spec(schema, split_stripes=1, batch_size=30):
+    sparse_id = [s.feature_id for s in schema if s.name.startswith("sparse_")][0]
+    dag = TransformDag()
+    dag.add(700, FirstX(sparse_id, 2))
+    dag.add(701, SigridHash(700, 500))
+    return SessionSpec(
+        table_name="sweep_table",
+        partitions=("p0", "p1", "p2"),
+        projection=frozenset({sparse_id}),
+        dag=dag,
+        output_ids=(701,),
+        batch_size=batch_size,
+        split_stripes=split_stripes,
+    )
+
+
+class TestFleetShapeSweep:
+    @pytest.mark.parametrize("n_workers", [1, 2, 5])
+    @pytest.mark.parametrize("n_clients", [1, 3])
+    def test_rows_conserved(self, published_layout, n_workers, n_clients):
+        filesystem, schema, footers, table = published_layout
+        session = DppSession(
+            build_spec(schema), filesystem, schema, footers,
+            n_workers=n_workers, n_clients=n_clients,
+        )
+        report = session.pump()
+        assert report.rows_processed == table.total_rows()
+
+    @pytest.mark.parametrize("split_stripes", [1, 2, 4])
+    def test_split_granularity_conserves_rows(self, published_layout, split_stripes):
+        filesystem, schema, footers, table = published_layout
+        session = DppSession(
+            build_spec(schema, split_stripes=split_stripes),
+            filesystem, schema, footers, n_workers=2,
+        )
+        report = session.pump()
+        assert report.rows_processed == table.total_rows()
+
+    @pytest.mark.parametrize("batch_size", [7, 30, 1_000])
+    def test_batch_size_conserves_rows(self, published_layout, batch_size):
+        filesystem, schema, footers, table = published_layout
+        session = DppSession(
+            build_spec(schema, batch_size=batch_size),
+            filesystem, schema, footers, n_workers=2,
+        )
+        report = session.pump()
+        assert report.rows_processed == table.total_rows()
+        delivered = sum(c.stats.batches_received for c in session.clients)
+        assert delivered == report.batches_delivered

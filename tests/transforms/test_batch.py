@@ -1,0 +1,109 @@
+"""Columnar batch representation."""
+
+import numpy as np
+import pytest
+
+from repro.common.errors import TransformError
+from repro.transforms import DenseColumn, FeatureBatch, SparseColumn
+from repro.warehouse import Row
+
+
+class TestDenseColumn:
+    def test_alignment_enforced(self):
+        with pytest.raises(TransformError):
+            DenseColumn(np.zeros(3), np.ones(2, dtype=bool))
+
+    def test_copy_is_deep(self):
+        column = DenseColumn(np.array([1.0, 2.0]), np.array([True, False]))
+        clone = column.copy()
+        clone.values[0] = 99.0
+        assert column.values[0] == 1.0
+
+    def test_nbytes_positive(self):
+        assert DenseColumn(np.zeros(10), np.ones(10, dtype=bool)).nbytes() > 0
+
+
+class TestSparseColumn:
+    def test_from_lists_round_trip(self):
+        lists = [[1, 2], [], [3]]
+        column = SparseColumn.from_lists(lists)
+        assert column.to_lists() == lists
+        assert len(column) == 3
+
+    def test_row_access(self):
+        column = SparseColumn.from_lists([[5, 6], [7]])
+        assert column.row(0).tolist() == [5, 6]
+        assert column.row(1).tolist() == [7]
+
+    def test_lengths(self):
+        column = SparseColumn.from_lists([[1, 2, 3], [], [4]])
+        assert column.lengths().tolist() == [3, 0, 1]
+
+    def test_weights_parallel(self):
+        column = SparseColumn.from_lists([[1, 2]], [[0.5, 0.7]])
+        assert column.weights.tolist() == pytest.approx([0.5, 0.7])
+
+    def test_invalid_offsets_rejected(self):
+        with pytest.raises(TransformError):
+            SparseColumn(np.array([0, 2]), np.array([1]))  # end != len(values)
+        with pytest.raises(TransformError):
+            SparseColumn(np.array([1, 2]), np.array([1, 2]))  # start != 0
+        with pytest.raises(TransformError):
+            SparseColumn(np.array([0, 2, 1]), np.array([1, 2]))  # decreasing
+
+    def test_mismatched_weights_rejected(self):
+        with pytest.raises(TransformError):
+            SparseColumn(np.array([0, 2]), np.array([1, 2]), np.array([0.1]))
+
+    def test_copy_is_deep(self):
+        column = SparseColumn.from_lists([[1]], [[0.5]])
+        clone = column.copy()
+        clone.values[0] = 9
+        clone.weights[0] = 0.9
+        assert column.values[0] == 1
+        assert column.weights[0] == pytest.approx(0.5)
+
+
+class TestFeatureBatch:
+    def test_column_length_must_match_rows(self):
+        batch = FeatureBatch(labels=np.zeros(3))
+        with pytest.raises(TransformError):
+            batch.add_column(1, SparseColumn.from_lists([[1]]))
+
+    def test_typed_accessors(self):
+        batch = FeatureBatch(labels=np.zeros(2))
+        batch.add_column(1, DenseColumn(np.zeros(2), np.ones(2, dtype=bool)))
+        batch.add_column(2, SparseColumn.from_lists([[1], [2]]))
+        assert isinstance(batch.dense(1), DenseColumn)
+        assert isinstance(batch.sparse(2), SparseColumn)
+        with pytest.raises(TransformError):
+            batch.dense(2)
+        with pytest.raises(TransformError):
+            batch.sparse(1)
+        with pytest.raises(TransformError):
+            batch.column(99)
+
+    def test_from_rows_materializes_all_types(self):
+        rows = [
+            Row(label=1.0, dense={1: 0.5}, sparse={2: [10, 11]}, scores={2: [0.1, 0.2]}),
+            Row(label=0.0, dense={}, sparse={2: [12]}, scores={2: [0.3]}),
+        ]
+        batch = FeatureBatch.from_rows(rows)
+        assert batch.n_rows == 2
+        assert batch.dense(1).presence.tolist() == [True, False]
+        assert batch.sparse(2).to_lists() == [[10, 11], [12]]
+        assert batch.sparse(2).weights is not None
+
+    def test_from_rows_with_projection(self):
+        rows = [Row(label=0.0, dense={1: 1.0, 3: 2.0})]
+        batch = FeatureBatch.from_rows(rows, feature_ids=[1])
+        assert 3 not in batch.columns
+
+    def test_from_rows_empty_rejected(self):
+        with pytest.raises(TransformError):
+            FeatureBatch.from_rows([])
+
+    def test_nbytes_counts_columns(self):
+        rows = [Row(label=0.0, sparse={2: list(range(100))})]
+        batch = FeatureBatch.from_rows(rows)
+        assert batch.nbytes() > 800

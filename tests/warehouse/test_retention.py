@@ -1,0 +1,93 @@
+"""Retention enforcement and privacy reaping."""
+
+import pytest
+
+from repro.common.errors import SchemaError
+from repro.warehouse import (
+    DatasetProfile,
+    FeatureStatus,
+    RetentionPolicy,
+    SampleGenerator,
+    Table,
+    enforce_retention,
+    verify_reaped,
+)
+
+
+@pytest.fixture
+def populated_table():
+    profile = DatasetProfile(n_dense=6, n_sparse=3, avg_coverage=0.9,
+                             avg_sparse_length=3.0)
+    generator = SampleGenerator(profile, seed=17)
+    schema = generator.build_schema("retained")
+    table = Table(schema)
+    generator.populate_table(table, [f"ds={i}" for i in range(6)], 40)
+    return table
+
+
+class TestPolicy:
+    def test_validation(self):
+        with pytest.raises(SchemaError):
+            RetentionPolicy(max_partitions=0)
+        with pytest.raises(SchemaError):
+            RetentionPolicy(max_partitions=1, reap_deprecated_after_days=-1)
+
+
+class TestPartitionRetention:
+    def test_oldest_partitions_drop(self, populated_table):
+        report = enforce_retention(populated_table, RetentionPolicy(max_partitions=4))
+        assert report.partitions_dropped == ["ds=0", "ds=1"]
+        assert populated_table.partition_names() == [f"ds={i}" for i in range(2, 6)]
+        assert report.bytes_reclaimed > 0
+
+    def test_within_budget_is_noop(self, populated_table):
+        report = enforce_retention(populated_table, RetentionPolicy(max_partitions=10))
+        assert report.partitions_dropped == []
+        assert report.bytes_reclaimed == 0
+
+    def test_enforcement_idempotent(self, populated_table):
+        policy = RetentionPolicy(max_partitions=3)
+        enforce_retention(populated_table, policy)
+        second = enforce_retention(populated_table, policy)
+        assert second.partitions_dropped == []
+
+
+class TestPrivacyReaping:
+    def test_old_deprecated_features_reaped_physically(self, populated_table):
+        schema = populated_table.schema
+        victim = schema.feature_ids()[0]
+        schema.set_status(victim, FeatureStatus.DEPRECATED)
+        report = enforce_retention(
+            populated_table,
+            RetentionPolicy(max_partitions=10, reap_deprecated_after_days=30),
+            current_day=60,
+        )
+        assert victim in report.features_reaped
+        assert verify_reaped(populated_table, victim)
+
+    def test_fresh_deprecated_features_survive(self, populated_table):
+        schema = populated_table.schema
+        victim = schema.feature_ids()[0]
+        schema.set_status(victim, FeatureStatus.DEPRECATED)
+        report = enforce_retention(
+            populated_table,
+            RetentionPolicy(max_partitions=10, reap_deprecated_after_days=90),
+            current_day=10,
+        )
+        assert report.features_reaped == []
+        assert victim in schema
+
+    def test_active_features_never_reaped(self, populated_table):
+        report = enforce_retention(
+            populated_table,
+            RetentionPolicy(max_partitions=10, reap_deprecated_after_days=0),
+            current_day=1_000,
+        )
+        assert report.features_reaped == []
+
+    def test_verify_reaped_detects_leftovers(self, populated_table):
+        schema = populated_table.schema
+        victim = schema.feature_ids()[1]
+        # Remove from schema only — rows still hold values.
+        schema.remove_feature(victim)
+        assert not verify_reaped(populated_table, victim)
