@@ -1,0 +1,111 @@
+"""Fleet contention: aggregate DPP throughput under 1 vs N tenants.
+
+The fleet-provisioning argument made quantitative: as concurrent jobs
+multiply on one region, the shared Tectonic fabric saturates, per-job
+throughput collapses toward its fair share, and aggregate throughput
+plateaus at the fabric ceiling — storage must be provisioned for the
+fleet, not the job.
+"""
+
+from repro.analysis import render_table
+from repro.cluster.job import JobKind
+from repro.fleet import (
+    FleetConfig,
+    FleetJobSpec,
+    FleetSimulator,
+    PoolConfig,
+    StorageFabric,
+)
+from repro.workloads.models import RM1, RM2
+
+from ._util import save_result
+
+FLEET_SIZES = (1, 2, 4, 8, 16)
+
+
+def make_jobs(n: int) -> list[FleetJobSpec]:
+    jobs = []
+    for i in range(n):
+        model = RM1 if i % 2 == 0 else RM2
+        demand = 2 * model.samples_per_s_per_trainer
+        jobs.append(
+            FleetJobSpec(
+                job_id=i,
+                model=model,
+                kind=JobKind.EXPLORATORY,
+                arrival_s=0.0,
+                trainer_nodes=2,
+                target_samples=1.5 * 3600 * demand,
+            )
+        )
+    return jobs
+
+
+def run_sweep():
+    config = FleetConfig(
+        fabric=StorageFabric(n_hdd_nodes=60, n_ssd_cache_nodes=4),
+        n_trainer_nodes=64,
+        pool=PoolConfig(max_workers=4_000),
+    )
+    results = {}
+    for n in FLEET_SIZES:
+        results[n] = FleetSimulator(config, make_jobs(n)).run()
+    return config, results
+
+
+def test_fleet_contention(benchmark):
+    config, results = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+    rows = []
+    for n, report in results.items():
+        rm1 = [
+            o for o in report.finished_outcomes() if o.spec.model is RM1
+        ]
+        per_job = sum(o.achieved_samples_per_s for o in rm1) / len(rm1)
+        rows.append(
+            [
+                n,
+                f"{report.aggregate_samples_per_s / 1e6:.3f}",
+                f"{per_job / 1e6:.3f}",
+                f"{report.mean_slowdown:.2f}",
+                f"{report.mean_storage_utilization:.0%}",
+                f"{report.peak_storage_utilization:.0%}",
+            ]
+        )
+    save_result(
+        "fleet_contention",
+        render_table(
+            [
+                "jobs",
+                "aggregate Msamp/s",
+                "RM1 per-job Msamp/s",
+                "mean slowdown",
+                "storage mean",
+                "storage peak",
+            ],
+            rows,
+            title="Fleet contention — shared storage under 1..16 concurrent jobs",
+        ),
+    )
+
+    solo = results[1]
+    crowded = results[max(FLEET_SIZES)]
+    # Per-job throughput degrades monotonically-ish with tenancy…
+    per_job = {
+        n: sum(
+            o.achieved_samples_per_s
+            for o in r.finished_outcomes()
+            if o.spec.model is RM1
+        )
+        / sum(1 for o in r.finished_outcomes() if o.spec.model is RM1)
+        for n, r in results.items()
+    }
+    assert per_job[max(FLEET_SIZES)] < 0.5 * per_job[1]
+    # …while aggregate throughput rises then plateaus at the fabric.
+    assert crowded.aggregate_samples_per_s > solo.aggregate_samples_per_s
+    assert crowded.peak_storage_utilization > 0.95
+    # The broker never over-commits the fabric.
+    assert all(
+        s.granted_bytes_per_s <= config.fabric.total_bandwidth * (1 + 1e-6)
+        for r in results.values()
+        for s in r.samples
+    )

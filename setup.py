@@ -1,7 +1,10 @@
-"""Shim for environments without the `wheel` package (offline installs).
+"""Setuptools entry point; all metadata lives in pyproject.toml.
 
-`pip install -e . --no-build-isolation --no-use-pep517` uses this file;
-all metadata lives in pyproject.toml.
+Normal environments:      pip install -e .
+Offline / no `wheel` pkg: python setup.py develop
+
+Either replaces the `PYTHONPATH=src` requirement with a real editable
+install of the `repro` package.
 """
 
 from setuptools import setup

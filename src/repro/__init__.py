@@ -17,6 +17,7 @@ Subpackages
 ``cluster``    jobs, release process, regions, scheduling, power
 ``workloads``  RM1/RM2/RM3 configurations and hardware specs
 ``analysis``   the per-table / per-figure characterization harness
+``fleet``      multi-job, contention-aware datacenter orchestration
 """
 
 __version__ = "1.0.0"
@@ -28,6 +29,7 @@ __all__ = [
     "datagen",
     "dpp",
     "dwrf",
+    "fleet",
     "tectonic",
     "trainer",
     "transforms",

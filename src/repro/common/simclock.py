@@ -101,6 +101,12 @@ class SimClock:
         """Fire events in order until virtual time reaches *deadline*."""
         while self._heap:
             event = self._heap[0]
+            if event.cancelled:
+                # Discard dead heap heads here: stepping over one would
+                # fire the *next* live event even when it lies beyond
+                # the deadline.
+                heapq.heappop(self._heap)
+                continue
             if event.time > deadline:
                 break
             self.step()

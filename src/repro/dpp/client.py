@@ -9,6 +9,7 @@ need to maintain."
 
 from __future__ import annotations
 
+import zlib
 from dataclasses import dataclass
 
 from ..common.errors import DppError, WorkerFailure
@@ -52,7 +53,11 @@ class DppClient:
             raise DppError("no live workers to connect to")
         if len(alive) <= self.max_connections:
             return list(alive)
-        offset = abs(hash(self.client_id)) % len(alive)
+        # A process-stable hash: Python's str hash is randomized per
+        # interpreter (PYTHONHASHSEED), which would make partition
+        # layout -- and thus which workers get drained -- vary from
+        # run to run.
+        offset = zlib.crc32(self.client_id.encode()) % len(alive)
         stride = max(1, len(alive) // self.max_connections)
         return [alive[(offset + i * stride) % len(alive)] for i in range(self.max_connections)]
 

@@ -14,6 +14,7 @@ import itertools
 from dataclasses import dataclass, field
 
 from ..common.errors import DppError
+from ..common.simclock import SimClock
 from ..dwrf.layout import FileFooter
 from ..tectonic.filesystem import TectonicFilesystem
 from ..warehouse.publish import partition_file_name
@@ -51,11 +52,24 @@ class DppSession:
         n_clients: int = 1,
         worker_config: WorkerConfig | None = None,
         autoscaler_config: AutoscalerConfig | None = None,
+        clock: SimClock | None = None,
+        round_time_s: float = 0.0,
     ) -> None:
+        """*filesystem* may be any object with the Tectonic read surface
+        (``read``/``fetcher``/``file``) — e.g. a fleet broker's
+        bandwidth-throttled view.  When *clock* is given, each pump
+        round advances it by *round_time_s*, letting externally
+        scheduled events (broker rate updates, other sessions) fire
+        between rounds of this session's data plane.
+        """
         if n_workers < 1 or n_clients < 1:
             raise DppError("a session needs at least one worker and one client")
+        if round_time_s < 0:
+            raise DppError("round_time_s cannot be negative")
         self.spec = spec
         self.filesystem = filesystem
+        self.clock = clock
+        self.round_time_s = round_time_s
         self.schema = schema
         # Key footers by Tectonic path, which is what splits reference.
         self.footers = {
@@ -144,8 +158,9 @@ class DppSession:
         decision = self.controller.evaluate(telemetry)
         if decision.delta:
             self.scale(decision.delta)
+            stamp = f"t={self.clock.now:.0f}s " if self.clock is not None else ""
             self.report.scaling_events.append(
-                f"{decision.action} {abs(decision.delta)}: {decision.reason}"
+                f"{stamp}{decision.action} {abs(decision.delta)}: {decision.reason}"
             )
         return decision.delta
 
@@ -178,6 +193,8 @@ class DppSession:
                     client.refresh_partition()
             if not self.live_workers:
                 raise DppError("session stalled: no live workers")
+            if self.clock is not None and self.round_time_s > 0:
+                self.clock.run_until(self.clock.now + self.round_time_s)
             progressed = False
             for worker in list(self.live_workers):
                 if not self.master.done and worker.wants_work:

@@ -110,11 +110,18 @@ class SimulationResult:
 
 
 class TimedDppSimulation:
-    """Fluid-flow simulation of one session's buffer dynamics."""
+    """Fluid-flow simulation of one session's buffer dynamics.
 
-    def __init__(self, config: SimulationConfig) -> None:
+    By default each simulation owns a private :class:`SimClock`; a
+    fleet-level harness can instead pass a *shared* clock so many
+    sessions advance in lockstep on one event heap (see
+    :mod:`repro.fleet`), scheduling via :meth:`schedule` and driving
+    the clock itself.
+    """
+
+    def __init__(self, config: SimulationConfig, clock: SimClock | None = None) -> None:
         self.config = config
-        self.clock = SimClock()
+        self.clock = clock or SimClock()
         self.controller = AutoscalingController(config.autoscaler)
         self._live_workers = config.initial_workers
         self._pending: list[float] = []  # spin-up completion times
@@ -194,12 +201,28 @@ class TimedDppSimulation:
 
     # -- driver ----------------------------------------------------------------
 
+    def schedule(self, duration_s: float) -> None:
+        """Register this session's processes on the clock without running.
+
+        Used when the clock is shared: each session schedules its tick
+        and controller processes, then one external driver advances the
+        common clock.  The processes stop ``duration_s`` after the
+        current virtual time.
+        """
+        config = self.config
+        until = self.clock.now + duration_s
+        self.clock.every(config.tick_s, self._tick, until=until)
+        self.clock.every(
+            config.controller_period_s, self._controller_step, until=until
+        )
+
+    def result(self) -> SimulationResult:
+        """The trace accumulated so far (for externally driven clocks)."""
+        return SimulationResult(self._samples, self._decisions)
+
     def run(self, duration_s: float) -> SimulationResult:
         """Run the closed loop for *duration_s* of virtual time."""
-        config = self.config
-        self.clock.every(config.tick_s, self._tick, until=duration_s)
-        self.clock.every(
-            config.controller_period_s, self._controller_step, until=duration_s
-        )
-        self.clock.run_until(duration_s)
-        return SimulationResult(self._samples, self._decisions)
+        deadline = self.clock.now + duration_s
+        self.schedule(duration_s)
+        self.clock.run_until(deadline)
+        return self.result()

@@ -1,0 +1,288 @@
+"""Shared-storage arbitration: one Tectonic fabric, many jobs.
+
+Section 7.1 provisions storage for *aggregate* training demand — no
+single job owns the cluster.  :class:`StorageBroker` makes that
+explicit: active sessions declare read demand each control interval,
+and the broker apportions the fabric's HDD bandwidth, the shared SSD
+cache tier's bytes, and the cache's bandwidth across them with max-min
+fairness.  A job's achievable preprocessing rate is then capped by its
+*grant*, so concurrent jobs contend realistically instead of each
+seeing a private filesystem.
+
+:class:`ThrottledFilesystem` is the executable-path counterpart: a
+per-job view of one :class:`~repro.tectonic.filesystem.TectonicFilesystem`
+that accounts every byte against the job's granted bandwidth, for
+running real :class:`~repro.dpp.service.DppSession` pumps under fleet
+arbitration.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from ..common.errors import ConfigError, StorageError
+from ..tectonic.filesystem import TectonicFilesystem
+from ..tectonic.media import COALESCE_WINDOW_BYTES, MediaModel, hdd_node, ssd_node
+
+
+def max_min_share(demands: Sequence[float], capacity: float) -> list[float]:
+    """Max-min fair allocation of *capacity* across *demands*.
+
+    Classic water-filling: small demands are fully satisfied; the
+    remainder is split evenly among the still-unsatisfied.  Returns one
+    grant per demand, summing to at most *capacity*.
+    """
+    if capacity < 0:
+        raise ConfigError("capacity cannot be negative")
+    if any(d < 0 for d in demands):
+        raise ConfigError("demands cannot be negative")
+    grants = [0.0] * len(demands)
+    order = sorted(range(len(demands)), key=lambda i: demands[i])
+    remaining = capacity
+    for position, index in enumerate(order):
+        fair = remaining / (len(demands) - position)
+        grant = min(demands[index], fair)
+        grants[index] = grant
+        remaining -= grant
+    return grants
+
+
+@dataclass(frozen=True)
+class StorageFabric:
+    """Capacity description of one region's shared storage.
+
+    An HDD-backed Tectonic tier plus an optional SSD cache tier
+    (Section 7.2's heterogeneous storage).  Bandwidths are derated by
+    per-read seek mechanics at *mean_io_bytes*, the coalesced physical
+    read size.
+    """
+
+    n_hdd_nodes: int
+    n_ssd_cache_nodes: int = 0
+    hdd: MediaModel = field(default_factory=hdd_node)
+    ssd: MediaModel = field(default_factory=ssd_node)
+    mean_io_bytes: float = float(COALESCE_WINDOW_BYTES)
+
+    def __post_init__(self) -> None:
+        if self.n_hdd_nodes < 1:
+            raise ConfigError("fabric needs at least one HDD node")
+        if self.n_ssd_cache_nodes < 0:
+            raise ConfigError("cache node count cannot be negative")
+        if self.mean_io_bytes <= 0:
+            raise ConfigError("mean I/O size must be positive")
+
+    @classmethod
+    def from_filesystem(
+        cls, filesystem: TectonicFilesystem, n_ssd_cache_nodes: int = 0
+    ) -> "StorageFabric":
+        """Describe an executable filesystem's nodes as a fabric."""
+        return cls(
+            n_hdd_nodes=len(filesystem.nodes),
+            n_ssd_cache_nodes=n_ssd_cache_nodes,
+            hdd=filesystem.media,
+        )
+
+    @property
+    def hdd_bandwidth(self) -> float:
+        """Aggregate HDD random-read bytes/s at the mean I/O size."""
+        return self.n_hdd_nodes * self.hdd.throughput_at_size(self.mean_io_bytes)
+
+    @property
+    def ssd_bandwidth(self) -> float:
+        """Aggregate cache-tier bytes/s at the mean I/O size."""
+        return self.n_ssd_cache_nodes * self.ssd.throughput_at_size(self.mean_io_bytes)
+
+    @property
+    def cache_capacity_bytes(self) -> float:
+        """Bytes the cache tier can hold."""
+        return self.n_ssd_cache_nodes * self.ssd.capacity_bytes
+
+    @property
+    def total_bandwidth(self) -> float:
+        """Both tiers' aggregate bytes/s."""
+        return self.hdd_bandwidth + self.ssd_bandwidth
+
+    @property
+    def total_watts(self) -> float:
+        """Storage power, both tiers (for the fleet power budget)."""
+        return self.n_hdd_nodes * self.hdd.watts + self.n_ssd_cache_nodes * self.ssd.watts
+
+
+@dataclass(frozen=True)
+class BandwidthGrant:
+    """One control interval's storage award to one job."""
+
+    job_id: int
+    demand_bytes_per_s: float
+    hdd_bytes_per_s: float
+    ssd_bytes_per_s: float
+    cache_absorbed_fraction: float
+
+    @property
+    def total_bytes_per_s(self) -> float:
+        """Granted read bandwidth across both tiers."""
+        return self.hdd_bytes_per_s + self.ssd_bytes_per_s
+
+    @property
+    def satisfied(self) -> bool:
+        """Whether the grant covers the declared demand."""
+        return self.total_bytes_per_s >= self.demand_bytes_per_s - 1e-6
+
+
+@dataclass
+class _SessionRecord:
+    dataset_bytes: float
+    popularity_bytes_for_80pct: float
+    hot_fraction: float = 0.0
+
+
+class StorageBroker:
+    """Apportions a shared fabric across active training sessions."""
+
+    def __init__(self, fabric: StorageFabric) -> None:
+        self.fabric = fabric
+        self._sessions: dict[int, _SessionRecord] = {}
+
+    # -- session lifecycle -------------------------------------------------
+
+    def register(
+        self, job_id: int, dataset_bytes: float, popularity_bytes_for_80pct: float
+    ) -> None:
+        """Announce a session's dataset so cache bytes can be assigned."""
+        if job_id in self._sessions:
+            raise StorageError(f"job {job_id} already registered")
+        if dataset_bytes <= 0:
+            raise StorageError("dataset size must be positive")
+        if not 0 < popularity_bytes_for_80pct < 1:
+            raise StorageError("popularity fraction must be in (0, 1)")
+        self._sessions[job_id] = _SessionRecord(
+            dataset_bytes, popularity_bytes_for_80pct
+        )
+        self.rebalance_cache()
+
+    def unregister(self, job_id: int) -> None:
+        """Drop a finished session and return its cache bytes."""
+        if job_id not in self._sessions:
+            raise StorageError(f"job {job_id} is not registered")
+        del self._sessions[job_id]
+        self.rebalance_cache()
+
+    @property
+    def active_sessions(self) -> int:
+        """Currently registered sessions."""
+        return len(self._sessions)
+
+    # -- cache apportionment -----------------------------------------------
+
+    def rebalance_cache(self) -> None:
+        """Re-split cache capacity across sessions' datasets.
+
+        Capacity is shared max-min on dataset size (a small dataset can
+        be fully resident while big ones split the rest), then each
+        session's *hot fraction* is its cache bytes over its dataset.
+        """
+        if not self._sessions:
+            return
+        ids = sorted(self._sessions)
+        sizes = [self._sessions[i].dataset_bytes for i in ids]
+        shares = max_min_share(sizes, self.fabric.cache_capacity_bytes)
+        for job_id, share in zip(ids, shares):
+            record = self._sessions[job_id]
+            record.hot_fraction = min(1.0, share / record.dataset_bytes)
+
+    def cache_absorbed_fraction(self, job_id: int) -> float:
+        """Traffic share the job's cached bytes absorb (Figure 7).
+
+        Popularity skew makes caching super-linear: the model's
+        ``popularity_bytes_for_80pct`` hottest bytes absorb 80% of
+        traffic.  A power law through (0,0), (pop80, 0.8), (1,1)
+        interpolates other cache sizes.
+        """
+        record = self._sessions[job_id]
+        hot = record.hot_fraction
+        if hot <= 0.0:
+            return 0.0
+        if hot >= 1.0:
+            return 1.0
+        alpha = math.log(0.8) / math.log(record.popularity_bytes_for_80pct)
+        return hot**alpha
+
+    # -- bandwidth apportionment ---------------------------------------------
+
+    def apportion(self, demands: dict[int, float]) -> dict[int, BandwidthGrant]:
+        """Split fabric bandwidth across sessions' declared demands.
+
+        Each job's demand divides between tiers by its cache-absorbed
+        fraction; each tier is then shared max-min fair.  Unsatisfied
+        demand is simply not granted — the caller throttles the job's
+        preprocessing rate to its grant.
+        """
+        unknown = set(demands) - set(self._sessions)
+        if unknown:
+            raise StorageError(f"unregistered jobs in demand set: {sorted(unknown)}")
+        ids = sorted(demands)
+        absorbed = {i: self.cache_absorbed_fraction(i) for i in ids}
+        ssd_demands = [demands[i] * absorbed[i] for i in ids]
+        hdd_demands = [demands[i] * (1.0 - absorbed[i]) for i in ids]
+        ssd_grants = max_min_share(ssd_demands, self.fabric.ssd_bandwidth)
+        hdd_grants = max_min_share(hdd_demands, self.fabric.hdd_bandwidth)
+        return {
+            job_id: BandwidthGrant(
+                job_id=job_id,
+                demand_bytes_per_s=demands[job_id],
+                hdd_bytes_per_s=hdd_grants[position],
+                ssd_bytes_per_s=ssd_grants[position],
+                cache_absorbed_fraction=absorbed[job_id],
+            )
+            for position, job_id in enumerate(ids)
+        }
+
+
+class ThrottledFilesystem:
+    """A per-job, bandwidth-accounted view of a shared filesystem.
+
+    Quacks like :class:`~repro.tectonic.filesystem.TectonicFilesystem`
+    for readers (``read``/``fetcher`` plus attribute passthrough), so a
+    :class:`~repro.dpp.service.DppSession` runs unmodified behind it.
+    Every read is charged device seconds at the job's granted rate; a
+    fleet harness updates the rate as the broker re-apportions, and the
+    accumulated ``io_seconds`` tell each job what storage slowdown it
+    actually experienced.
+    """
+
+    def __init__(self, base: TectonicFilesystem, rate_bytes_per_s: float) -> None:
+        if rate_bytes_per_s <= 0:
+            raise StorageError("granted rate must be positive")
+        self.base = base
+        self.rate_bytes_per_s = rate_bytes_per_s
+        self.bytes_read = 0
+        self.read_count = 0
+        self.io_seconds = 0.0
+
+    def set_rate(self, rate_bytes_per_s: float) -> None:
+        """Apply a new grant (called on broker re-apportionment)."""
+        if rate_bytes_per_s <= 0:
+            raise StorageError("granted rate must be positive")
+        self.rate_bytes_per_s = rate_bytes_per_s
+
+    def read(self, name: str, offset: int, length: int) -> bytes:
+        """Serve a read through the base fabric, charging the grant."""
+        data = self.base.read(name, offset, length)
+        self.bytes_read += len(data)
+        self.read_count += 1
+        self.io_seconds += len(data) / self.rate_bytes_per_s
+        return data
+
+    def fetcher(self, name: str):
+        """A ``(offset, length) -> bytes`` adapter like the base's."""
+
+        def fetch(offset: int, length: int) -> bytes:
+            return self.read(name, offset, length)
+
+        return fetch
+
+    def __getattr__(self, attribute: str):
+        # Namespace, write, and accounting surfaces pass through.
+        return getattr(self.base, attribute)

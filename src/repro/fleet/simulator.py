@@ -1,0 +1,439 @@
+"""The fleet orchestration plane: many jobs, one clock, shared everything.
+
+:class:`FleetSimulator` runs a multi-tenant region as a discrete-event
+simulation on a single :class:`~repro.common.simclock.SimClock`:
+
+* jobs arrive from a trace (:mod:`repro.fleet.jobs`) and queue FCFS for
+  trainer capacity (the admission story of Section 4.2);
+* active sessions' preprocessing is a fluid model per job — workers
+  produce at their model's achievable QPS, trainers consume at GPU
+  demand, a bounded buffer absorbs transients — the fleet
+  generalization of :class:`~repro.dpp.simulation.TimedDppSimulation`;
+* every tick the :class:`~repro.fleet.broker.StorageBroker` apportions
+  shared Tectonic bandwidth and cache across sessions, capping each
+  job's achievable rate;
+* every control period each job's autoscaling controller proposes a
+  fleet size and the :class:`~repro.fleet.allocator.GlobalDppAllocator`
+  arbitrates all proposals against one power-bounded worker pool.
+
+The result is a :class:`~repro.fleet.report.FleetReport`: per-job
+throughput, contention slowdown, queue delay, and shared-resource
+utilization traces.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from ..common.errors import ConfigError, SchedulingError
+from ..common.simclock import SimClock
+from ..dpp.analytical import worker_throughput
+from ..dpp.autoscaler import AutoscalerConfig, AutoscalingController, WorkerTelemetry
+from ..workloads.hardware import V100_TRAINER, TrainerNodeSpec
+from .allocator import (
+    FleetPowerBudget,
+    GlobalDppAllocator,
+    PoolConfig,
+    WorkerRequest,
+)
+from .broker import StorageBroker, StorageFabric
+from .jobs import FleetJobSpec
+from .report import FleetReport, FleetSample, JobOutcome
+
+_EPS = 1e-9
+
+
+def _fleet_autoscaler_config() -> AutoscalerConfig:
+    """Per-job controller thresholds in buffered *seconds of demand*."""
+    return AutoscalerConfig(
+        min_buffered_per_worker=5.0,
+        drain_buffered_per_worker=30.0,
+        low_utilization=0.5,
+        scale_up_step=4,
+        drain_step=2,
+        min_workers=1,
+        max_workers=1_000_000,
+    )
+
+
+@dataclass(frozen=True)
+class FleetConfig:
+    """One region's shared plant and control-loop settings."""
+
+    fabric: StorageFabric
+    n_trainer_nodes: int = 64
+    trainer_node: TrainerNodeSpec = V100_TRAINER
+    pool: PoolConfig = field(default_factory=PoolConfig)
+    autoscaler: AutoscalerConfig = field(default_factory=_fleet_autoscaler_config)
+    power_budget_watts: float | None = None
+    tick_s: float = 60.0
+    control_period_s: float = 300.0
+    buffer_capacity_s: float = 60.0  # seconds of demand a job may buffer
+
+    def __post_init__(self) -> None:
+        if self.n_trainer_nodes < 1:
+            raise ConfigError("region needs at least one trainer node")
+        if self.tick_s <= 0 or self.control_period_s <= 0:
+            raise ConfigError("time steps must be positive")
+        if self.buffer_capacity_s <= 0:
+            raise ConfigError("buffer capacity must be positive")
+
+    def power_budget(self) -> FleetPowerBudget | None:
+        """The power coupling, when a budget is set."""
+        if self.power_budget_watts is None:
+            return None
+        return FleetPowerBudget(
+            budget_watts=self.power_budget_watts,
+            storage_watts=self.fabric.total_watts,
+            trainer_node_watts=self.trainer_node.total_watts,
+            worker_node_watts=self.pool.worker_node.watts,
+        )
+
+
+@dataclass
+class _ActiveJob:
+    """Fluid state of one admitted session."""
+
+    spec: FleetJobSpec
+    outcome: JobOutcome
+    worker_qps: float
+    controller: AutoscalingController
+    requested: int
+    live_workers: int = 0
+    pending: list[tuple[float, int]] = field(default_factory=list)  # (ready_s, count)
+    buffer_samples: float = 0.0
+    last_rate: float = 0.0
+
+    @property
+    def total_workers(self) -> int:
+        """Live plus in-flight launches (counts against the pool)."""
+        return self.live_workers + sum(count for _, count in self.pending)
+
+    @property
+    def base_workers(self) -> int:
+        """Workers that nominally cover demand (Table 9's ratio)."""
+        return max(1, math.ceil(self.spec.demand_samples_per_s / self.worker_qps))
+
+
+class FleetSimulator:
+    """Discrete-event, multi-tenant datacenter-region simulator."""
+
+    def __init__(
+        self,
+        config: FleetConfig,
+        jobs: list[FleetJobSpec],
+        clock: SimClock | None = None,
+    ) -> None:
+        if not jobs:
+            raise ConfigError("fleet needs at least one job")
+        oversized = [j for j in jobs if j.trainer_nodes > config.n_trainer_nodes]
+        if oversized:
+            raise SchedulingError(
+                f"{len(oversized)} job(s) need more trainers than the region has"
+            )
+        if len({j.job_id for j in jobs}) != len(jobs):
+            raise ConfigError("job ids must be unique")
+        self.config = config
+        self.clock = clock or SimClock()
+        self.broker = StorageBroker(config.fabric)
+        # One budget object serves both the allocator's worker cap
+        # (when configured) and the per-tick power accounting; an
+        # unbudgeted fleet still meters its draw against an unbounded
+        # budget so the report's power trace uses one formula.
+        self._budget = config.power_budget()
+        self._power_meter = self._budget or FleetPowerBudget(
+            budget_watts=math.inf,
+            storage_watts=config.fabric.total_watts,
+            trainer_node_watts=config.trainer_node.total_watts,
+            worker_node_watts=config.pool.worker_node.watts,
+        )
+        self.allocator = GlobalDppAllocator(config.pool, self._budget)
+        self.jobs = sorted(jobs, key=lambda j: (j.arrival_s, j.job_id))
+        self._pending_arrivals = len(self.jobs)
+        self._queue: list[FleetJobSpec] = []
+        self._active: dict[int, _ActiveJob] = {}
+        self._free_trainers = config.n_trainer_nodes
+        self._outcomes: dict[int, JobOutcome] = {}
+        self._samples: list[FleetSample] = []
+        self._qps_cache: dict[str, float] = {}
+        self._chains_started = False
+
+    # -- lifecycle -------------------------------------------------------------
+
+    def _worker_qps(self, spec: FleetJobSpec) -> float:
+        model = spec.model
+        if model.name not in self._qps_cache:
+            self._qps_cache[model.name] = worker_throughput(
+                model, self.config.pool.worker_node
+            ).qps
+        return self._qps_cache[model.name]
+
+    def _arrive(self, spec: FleetJobSpec) -> None:
+        self._pending_arrivals -= 1
+        self._queue.append(spec)
+        self._admit_queued()
+
+    def _admit_queued(self) -> None:
+        """FCFS admission with head-of-line blocking (Section 4.2)."""
+        admitted = False
+        while self._queue and self._queue[0].trainer_nodes <= self._free_trainers:
+            spec = self._queue.pop(0)
+            self._free_trainers -= spec.trainer_nodes
+            outcome = JobOutcome(spec=spec, admitted_s=self.clock.now)
+            self._outcomes[spec.job_id] = outcome
+            job = _ActiveJob(
+                spec=spec,
+                outcome=outcome,
+                worker_qps=self._worker_qps(spec),
+                controller=AutoscalingController(self.config.autoscaler),
+                requested=0,
+            )
+            job.requested = job.base_workers
+            self._active[spec.job_id] = job
+            self.broker.register(
+                spec.job_id,
+                dataset_bytes=spec.model.table_sizes.used_partitions,
+                popularity_bytes_for_80pct=spec.model.popularity_bytes_for_80pct,
+            )
+            admitted = True
+        if admitted:
+            # Newly admitted jobs should not idle until the next control
+            # period: run an allocation round now.
+            self._control()
+
+    def _finish(self, job: _ActiveJob) -> None:
+        job.outcome.completed_s = self.clock.now
+        self._free_trainers += job.spec.trainer_nodes
+        self.broker.unregister(job.spec.job_id)
+        del self._active[job.spec.job_id]
+        self._admit_queued()
+
+    # -- control loop ---------------------------------------------------------
+
+    def _control(self) -> None:
+        """Per-job autoscalers propose; the global allocator disposes."""
+        requests: list[WorkerRequest] = []
+        for job in self._active.values():
+            requests.append(
+                WorkerRequest(
+                    job_id=job.spec.job_id,
+                    kind=job.spec.kind,
+                    desired=self._desired_workers(job),
+                    minimum=1,
+                )
+            )
+        active_trainers = self.config.n_trainer_nodes - self._free_trainers
+        granted = self.allocator.allocate(requests, active_trainers, self.clock.now)
+        for job in self._active.values():
+            self._apply_grant(job, granted.get(job.spec.job_id, 0))
+
+    def _desired_workers(self, job: _ActiveJob) -> int:
+        """Evolve the job's ask with its per-job autoscaling controller.
+
+        Telemetry maps the fluid state onto the controller's inputs:
+        buffered *seconds of demand* stand in for buffered batches, and
+        achieved rate over worker capacity for CPU utilization.
+        """
+        demand = job.spec.demand_samples_per_s
+        buffered_s = job.buffer_samples / demand
+        supply = job.live_workers * job.worker_qps
+        utilization = min(1.0, job.last_rate / supply) if supply > 0 else 1.0
+        telemetry = [
+            WorkerTelemetry(
+                worker_id=f"j{job.spec.job_id}-w{i}",
+                buffered_batches=int(buffered_s),
+                cpu_utilization=utilization,
+                memory_utilization=0.0,
+                network_utilization=0.0,
+            )
+            for i in range(job.live_workers)
+        ]
+        delta = job.controller.evaluate(telemetry).delta
+        ceiling = max(1, 2 * job.base_workers)
+        job.requested = max(1, min(ceiling, job.requested + delta))
+        return job.requested
+
+    def _apply_grant(self, job: _ActiveJob, target: int) -> None:
+        """Reshape a job's worker fleet toward its granted size."""
+        current = job.total_workers
+        if target > current:
+            job.pending.append(
+                (self.clock.now + self.config.pool.spinup_s, target - current)
+            )
+        elif target < current:
+            shed = current - target
+            # In-flight launches are cancelled first (free), then live
+            # workers drain back to the shared pool.
+            while shed > 0 and job.pending:
+                ready, count = job.pending.pop()
+                keep = max(0, count - shed)
+                shed -= count - keep
+                if keep:
+                    job.pending.append((ready, keep))
+            if shed > 0:
+                job.live_workers -= min(shed, job.live_workers)
+
+    # -- dynamics -------------------------------------------------------------
+
+    def _tick(self) -> None:
+        now = self.clock.now
+        tick = self.config.tick_s
+        for job in self._active.values():
+            ready = sum(count for when, count in job.pending if when <= now)
+            job.pending = [(when, count) for when, count in job.pending if when > now]
+            job.live_workers += ready
+
+        # Declare storage demand: workers refill buffers whenever there
+        # is headroom, so demand reflects what the job *could* read.
+        demands: dict[int, float] = {}
+        for job_id, job in self._active.items():
+            supply = job.live_workers * job.worker_qps
+            cap = self.config.buffer_capacity_s * job.spec.demand_samples_per_s
+            wanted = supply if job.buffer_samples < cap else min(
+                supply, job.spec.demand_samples_per_s
+            )
+            demands[job_id] = wanted * job.spec.storage_rx_bytes_per_sample
+        grants = self.broker.apportion(demands) if demands else {}
+
+        total_rate = 0.0
+        total_demand = 0.0
+        granted_bps = 0.0
+        for job_id, job in list(self._active.items()):
+            spec = job.spec
+            grant = grants[job_id]
+            supply = job.live_workers * job.worker_qps
+            rate = min(
+                supply, grant.total_bytes_per_s / spec.storage_rx_bytes_per_sample
+            )
+            job.last_rate = rate
+            produced = rate * tick
+            available = job.buffer_samples + produced
+            need = min(
+                spec.demand_samples_per_s * tick,
+                spec.target_samples - job.outcome.samples_done,
+            )
+            consumed = min(need, available)
+            if need > _EPS and consumed < need - _EPS:
+                job.outcome.stall_s += tick * (1.0 - consumed / need)
+            cap = self.config.buffer_capacity_s * spec.demand_samples_per_s
+            job.buffer_samples = min(available - consumed, cap)
+            job.outcome.samples_done += consumed
+            job.outcome.worker_seconds += job.live_workers * tick
+            job.outcome.granted_bytes += grant.total_bytes_per_s * tick
+            total_rate += rate
+            total_demand += spec.demand_samples_per_s
+            granted_bps += grant.total_bytes_per_s
+            if job.outcome.samples_done >= spec.target_samples - _EPS:
+                self._finish(job)
+
+        live = sum(j.live_workers for j in self._active.values())
+        pending = sum(j.total_workers - j.live_workers for j in self._active.values())
+        active_trainers = self.config.n_trainer_nodes - self._free_trainers
+        power = self._power_meter.draw_watts(active_trainers, live + pending)
+        self._samples.append(
+            FleetSample(
+                time_s=now,
+                active_jobs=len(self._active),
+                queued_jobs=len(self._queue),
+                live_workers=live,
+                pending_workers=pending,
+                supply_samples_per_s=total_rate,
+                demand_samples_per_s=total_demand,
+                granted_bytes_per_s=granted_bps,
+                storage_utilization=granted_bps / self.config.fabric.total_bandwidth,
+                power_watts=power,
+            )
+        )
+
+    # -- driver ---------------------------------------------------------------
+
+    def _work_remaining(self) -> bool:
+        return bool(self._active or self._queue or self._pending_arrivals)
+
+    def _tick_chain(self) -> None:
+        self._tick()
+        if self._work_remaining():
+            self.clock.schedule(self.config.tick_s, self._tick_chain)
+
+    def _control_chain(self) -> None:
+        self._control()
+        if self._work_remaining():
+            self.clock.schedule(self.config.control_period_s, self._control_chain)
+
+    def schedule(self) -> None:
+        """Register arrivals and control processes on the (shared) clock."""
+        if self._chains_started:
+            raise SchedulingError("fleet already scheduled")
+        self._chains_started = True
+        for spec in self.jobs:
+            self.clock.schedule_at(
+                self.clock.now + spec.arrival_s, lambda s=spec: self._arrive(s)
+            )
+        self.clock.schedule(self.config.tick_s, self._tick_chain)
+        self.clock.schedule(self.config.control_period_s, self._control_chain)
+
+    def run(
+        self, horizon_s: float | None = None, max_events: int = 5_000_000
+    ) -> FleetReport:
+        """Run to completion (or *horizon_s*) and build the report.
+
+        Without a horizon the clock is stepped only while fleet work
+        remains: on a shared clock, foreign events interleave up to the
+        last job's completion but anything beyond stays on the heap for
+        the external driver.
+        """
+        if not self._chains_started:
+            self.schedule()
+        if horizon_s is not None:
+            self.clock.run_until(self.clock.now + horizon_s)
+        else:
+            fired = 0
+            while self._work_remaining() and self.clock.step():
+                fired += 1
+                if fired >= max_events:
+                    raise SchedulingError(
+                        f"fleet exceeded {max_events} events (starved jobs "
+                        "never finish; pass horizon_s to bound such runs)"
+                    )
+        return self.report()
+
+    def report(self) -> FleetReport:
+        """Snapshot the current outcome set as a report."""
+        busy = [s for s in self._samples if s.active_jobs > 0]
+        makespan = (
+            busy[-1].time_s - busy[0].time_s + self.config.tick_s if busy else 0.0
+        )
+        return FleetReport(
+            outcomes=sorted(
+                self._outcomes.values(), key=lambda o: o.spec.job_id
+            ),
+            samples=list(self._samples),
+            storage_bandwidth_bytes_per_s=self.config.fabric.total_bandwidth,
+            makespan_s=makespan,
+            # Jobs that arrived but never won trainer capacity: their
+            # waits (still growing at snapshot time) must not vanish
+            # from the queue-delay tail.
+            unadmitted_queue_delays_s=[
+                self.clock.now - spec.arrival_s for spec in self._queue
+            ],
+        )
+
+
+@dataclass(frozen=True)
+class FleetScenario:
+    """A named, reproducible fleet experiment."""
+
+    name: str
+    config: FleetConfig
+    jobs: tuple[FleetJobSpec, ...]
+
+
+def run_scenario(
+    scenario: FleetScenario,
+    horizon_s: float | None = None,
+    clock: SimClock | None = None,
+) -> FleetReport:
+    """Run one scenario on a fresh (or shared) clock."""
+    simulator = FleetSimulator(scenario.config, list(scenario.jobs), clock=clock)
+    return simulator.run(horizon_s=horizon_s)

@@ -19,6 +19,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..common.errors import ConfigError
+from ..common.simclock import SimClock
 
 
 @dataclass(frozen=True)
@@ -57,7 +58,10 @@ class ClusterThroughput:
 
 
 def simulate_cluster(
-    config: ClusterConfig, n_iterations: int = 2_000, seed: int = 0
+    config: ClusterConfig,
+    n_iterations: int = 2_000,
+    seed: int = 0,
+    clock: SimClock | None = None,
 ) -> ClusterThroughput:
     """Iteration-level simulation of a synchronous job.
 
@@ -65,7 +69,13 @@ def simulate_cluster(
     inter-arrival around its supply share), then computes; the job
     syncs when the slowest trainer finishes.  The data wait overlaps
     nothing (mini-batch SGD consumes a fresh batch per iteration).
+
+    Runs as a self-rescheduling process on a :class:`SimClock` — by
+    default a private one, or a shared fleet clock so training-side and
+    preprocessing-side processes interleave in one event order.
     """
+    if n_iterations < 1:
+        raise ConfigError("need at least one iteration")
     rng = np.random.default_rng(seed)
     per_trainer_supply = config.batches_per_s_supplied / config.n_trainers
     # Per-trainer mean supply rates with the configured imbalance.
@@ -78,19 +88,40 @@ def simulate_cluster(
     sync = config.sync_time_s
     ideal_iteration = compute + sync
 
-    total_time = 0.0
-    total_wait = 0.0
-    for _ in range(n_iterations):
+    clock = clock or SimClock()
+    start = clock.now
+    state = {"remaining": n_iterations, "wait": 0.0, "end": start}
+
+    def iteration() -> None:
         # Batch wait per trainer this iteration; queueing backlog is
         # approximated by the renewal process' exponential gap.
         waits = rng.exponential(1.0 / rates)
         data_wait = float(np.max(np.maximum(waits - ideal_iteration, 0.0)))
-        total_wait += data_wait
-        total_time += ideal_iteration + data_wait
+        state["wait"] += data_wait
+        state["remaining"] -= 1
+        if state["remaining"] > 0:
+            clock.schedule(ideal_iteration + data_wait, iteration)
+        else:
+            # The final iteration still occupies the cluster; advance
+            # time past it so the makespan includes its duration.
+            clock.schedule(ideal_iteration + data_wait, finish)
+
+    def finish() -> None:
+        state["end"] = clock.now
+
+    clock.schedule(0.0, iteration)
+    # Step only until this job's chain completes: on a shared clock,
+    # foreign events up to that point interleave (that is the purpose),
+    # but events beyond it stay for the external driver, and the
+    # makespan measures this job alone.
+    while state["remaining"] > 0 or state["end"] == start:
+        if not clock.step():
+            raise ConfigError("clock drained before the job finished")
+    total_time = state["end"] - start
     return ClusterThroughput(
         iterations_per_s=n_iterations / total_time,
         ideal_iterations_per_s=1.0 / ideal_iteration,
-        stall_fraction=total_wait / total_time,
+        stall_fraction=state["wait"] / total_time,
     )
 
 

@@ -73,6 +73,61 @@ class TestCancellation:
         handle.cancel()
         assert clock.pending == 1
 
+    def test_cancel_from_earlier_event_mid_run(self):
+        # The fleet plane cancels in-flight worker launches: an event
+        # already in the heap must be suppressible by an earlier event.
+        clock = SimClock()
+        fired = []
+        victim = clock.schedule(5.0, lambda: fired.append("victim"))
+        clock.schedule(1.0, lambda: victim.cancel())
+        clock.schedule(6.0, lambda: fired.append("survivor"))
+        clock.run()
+        assert fired == ["survivor"]
+        assert clock.now == 6.0
+
+    def test_cancel_after_firing_is_harmless(self):
+        clock = SimClock()
+        fired = []
+        handle = clock.schedule(1.0, lambda: fired.append("x"))
+        clock.run()
+        handle.cancel()  # no-op: already fired
+        assert fired == ["x"]
+        assert clock.pending == 0
+
+    def test_double_cancel_is_idempotent(self):
+        clock = SimClock()
+        handle = clock.schedule(1.0, lambda: None)
+        handle.cancel()
+        handle.cancel()
+        assert clock.run() == 0
+
+    def test_handle_reports_scheduled_time(self):
+        clock = SimClock(start=3.0)
+        handle = clock.schedule(2.0, lambda: None)
+        assert handle.time == 5.0
+
+    def test_run_until_respects_deadline_past_cancelled_head(self):
+        # A cancelled event at the heap head must not let run_until
+        # fire a live event scheduled beyond the deadline.
+        clock = SimClock()
+        fired = []
+        clock.schedule(5.0, lambda: fired.append("dead")).cancel()
+        clock.schedule(50.0, lambda: fired.append("future"))
+        clock.run_until(10.0)
+        assert fired == []
+        assert clock.now == 10.0
+        clock.run()
+        assert fired == ["future"]
+
+    def test_step_skips_cancelled_to_next_live_event(self):
+        clock = SimClock()
+        fired = []
+        clock.schedule(1.0, lambda: None).cancel()
+        clock.schedule(2.0, lambda: fired.append("live"))
+        assert clock.step() is True
+        assert fired == ["live"]
+        assert clock.now == 2.0
+
 
 class TestPeriodic:
     def test_every_until_deadline(self):
@@ -100,6 +155,74 @@ class TestPeriodic:
         clock.every(1.0, lambda: None)  # no until: infinite recurrence
         with pytest.raises(RuntimeError):
             clock.run(max_events=100)
+
+    def test_periodic_reschedules_relative_to_fire_time(self):
+        # A tick delayed past its slot (events at the same timestamp
+        # run FIFO) still reschedules from *now*, keeping the cadence.
+        clock = SimClock()
+        ticks = []
+        clock.every(2.0, lambda: ticks.append(clock.now), until=6.0)
+        clock.run()
+        assert ticks == [2.0, 4.0, 6.0]
+
+    def test_raising_periodic_stops_its_own_recurrence(self):
+        clock = SimClock()
+        ticks = []
+
+        def explode():
+            ticks.append(clock.now)
+            raise ValueError("stop")
+
+        clock.every(1.0, explode, until=10.0)
+        with pytest.raises(ValueError):
+            clock.run()
+        assert ticks == [1.0]
+        assert clock.pending == 0  # never rescheduled
+
+    def test_until_boundary_inclusive_then_stops(self):
+        clock = SimClock()
+        ticks = []
+        clock.every(1.0, lambda: ticks.append(clock.now), until=3.0)
+        clock.run()
+        assert ticks == [1.0, 2.0, 3.0]
+        assert clock.pending == 0
+
+    def test_two_periodic_processes_interleave_deterministically(self):
+        # Fleet tick + controller processes at a coincident timestamp
+        # fire in *scheduling* order: the control event entered the
+        # heap at registration (t=0), the second tick only when the
+        # first fired (t=1), so control wins the t=2 tie.
+        clock = SimClock()
+        order = []
+        clock.every(1.0, lambda: order.append("tick"), until=2.0)
+        clock.every(2.0, lambda: order.append("control"), until=2.0)
+        clock.run()
+        assert order == ["tick", "control", "tick"]
+
+
+class TestFifoTieBreaking:
+    def test_ties_fire_in_schedule_order_across_sources(self):
+        clock = SimClock()
+        fired = []
+        clock.schedule(2.0, lambda: fired.append("first-scheduled"))
+        clock.schedule(1.0, lambda: clock.schedule(1.0, lambda: fired.append("nested")))
+        clock.schedule(2.0, lambda: fired.append("second-scheduled"))
+        clock.run()
+        # Both pre-scheduled events beat the one created at t=1.0 even
+        # though all three share timestamp 2.0.
+        assert fired == ["first-scheduled", "second-scheduled", "nested"]
+
+    def test_cancellation_preserves_order_of_survivors(self):
+        clock = SimClock()
+        fired = []
+        handles = [
+            clock.schedule(1.0, lambda tag=tag: fired.append(tag))
+            for tag in "abcd"
+        ]
+        handles[1].cancel()
+        handles[2].cancel()
+        clock.run()
+        assert fired == ["a", "d"]
 
 
 class TestStep:

@@ -102,3 +102,40 @@ class TestResultStatistics:
         result = TimedDppSimulation(make_config()).run(duration_s=50.0)
         with pytest.raises(DppError):
             result.stall_fraction_after(1_000.0)
+
+
+class TestSharedClock:
+    def test_externally_driven_matches_private_run(self):
+        from repro.common.simclock import SimClock
+
+        config = make_config(initial_workers=4)
+        private = TimedDppSimulation(config).run(duration_s=120.0)
+
+        clock = SimClock(start=1_000.0)  # nonzero origin: offsets must hold
+        foreign = []
+        clock.schedule(50.0, lambda: foreign.append(clock.now))
+        shared = TimedDppSimulation(config, clock=clock)
+        shared.schedule(duration_s=120.0)
+        clock.run_until(1_000.0 + 120.0)  # the caller drives the clock
+        result = shared.result()
+
+        # Same physics, shifted timestamps; foreign events interleaved.
+        assert len(result.samples) == len(private.samples)
+        assert foreign == [1_050.0]
+        for ours, theirs in zip(result.samples, private.samples):
+            assert ours.time_s == pytest.approx(theirs.time_s + 1_000.0)
+            assert ours.buffered_batches == pytest.approx(theirs.buffered_batches)
+            assert ours.live_workers == theirs.live_workers
+        assert result.stall_fraction == pytest.approx(private.stall_fraction)
+
+    def test_two_sessions_one_clock(self):
+        from repro.common.simclock import SimClock
+
+        clock = SimClock()
+        fast = TimedDppSimulation(make_config(initial_workers=8), clock=clock)
+        slow = TimedDppSimulation(make_config(initial_workers=1), clock=clock)
+        fast.schedule(duration_s=60.0)
+        slow.schedule(duration_s=60.0)
+        clock.run_until(60.0)
+        assert len(fast.result().samples) == len(slow.result().samples) == 60
+        assert fast.result().stall_fraction <= slow.result().stall_fraction

@@ -1,0 +1,165 @@
+"""Shared-storage arbitration: fairness, caching, throttled views."""
+
+import pytest
+
+from repro.common.errors import ConfigError, StorageError
+from repro.fleet import StorageBroker, StorageFabric, ThrottledFilesystem, max_min_share
+from repro.tectonic import TectonicFilesystem
+
+
+class TestMaxMinShare:
+    def test_unconstrained_demands_fully_granted(self):
+        assert max_min_share([10.0, 20.0], 100.0) == [10.0, 20.0]
+
+    def test_contended_capacity_split_evenly(self):
+        assert max_min_share([60.0, 60.0], 100.0) == [50.0, 50.0]
+
+    def test_small_demand_satisfied_before_large(self):
+        grants = max_min_share([10.0, 200.0, 200.0], 100.0)
+        assert grants[0] == pytest.approx(10.0)
+        assert grants[1] == pytest.approx(45.0)
+        assert grants[2] == pytest.approx(45.0)
+
+    def test_never_exceeds_capacity_or_demand(self):
+        demands = [7.0, 33.0, 150.0, 2.0]
+        grants = max_min_share(demands, 60.0)
+        assert sum(grants) <= 60.0 + 1e-9
+        assert all(g <= d + 1e-9 for g, d in zip(grants, demands))
+
+    def test_negative_inputs_rejected(self):
+        with pytest.raises(ConfigError):
+            max_min_share([-1.0], 10.0)
+        with pytest.raises(ConfigError):
+            max_min_share([1.0], -10.0)
+
+
+@pytest.fixture
+def fabric():
+    return StorageFabric(n_hdd_nodes=10, n_ssd_cache_nodes=2)
+
+
+class TestStorageFabric:
+    def test_bandwidths_scale_with_nodes(self, fabric):
+        doubled = StorageFabric(n_hdd_nodes=20, n_ssd_cache_nodes=4)
+        assert doubled.hdd_bandwidth == pytest.approx(2 * fabric.hdd_bandwidth)
+        assert doubled.cache_capacity_bytes == pytest.approx(
+            2 * fabric.cache_capacity_bytes
+        )
+
+    def test_from_filesystem_mirrors_nodes(self):
+        filesystem = TectonicFilesystem(n_nodes=8)
+        described = StorageFabric.from_filesystem(filesystem)
+        assert described.n_hdd_nodes == 8
+        assert described.hdd is filesystem.media
+
+
+class TestCacheApportionment:
+    def test_small_dataset_fully_resident(self, fabric):
+        broker = StorageBroker(fabric)
+        broker.register(1, dataset_bytes=fabric.cache_capacity_bytes / 10, popularity_bytes_for_80pct=0.4)
+        broker.register(2, dataset_bytes=fabric.cache_capacity_bytes * 10, popularity_bytes_for_80pct=0.4)
+        assert broker.cache_absorbed_fraction(1) == pytest.approx(1.0)
+        assert 0.0 < broker.cache_absorbed_fraction(2) < 1.0
+
+    def test_figure7_anchor_point(self, fabric):
+        # A cache holding exactly the pop-80 byte fraction absorbs 80%.
+        broker = StorageBroker(fabric)
+        broker.register(
+            1,
+            dataset_bytes=fabric.cache_capacity_bytes / 0.39,
+            popularity_bytes_for_80pct=0.39,
+        )
+        assert broker.cache_absorbed_fraction(1) == pytest.approx(0.8, rel=1e-6)
+
+    def test_unregister_returns_cache(self, fabric):
+        broker = StorageBroker(fabric)
+        big = fabric.cache_capacity_bytes * 4
+        broker.register(1, dataset_bytes=big, popularity_bytes_for_80pct=0.4)
+        broker.register(2, dataset_bytes=big, popularity_bytes_for_80pct=0.4)
+        shared = broker.cache_absorbed_fraction(1)
+        broker.unregister(2)
+        assert broker.cache_absorbed_fraction(1) > shared
+
+    def test_double_register_rejected(self, fabric):
+        broker = StorageBroker(fabric)
+        broker.register(1, dataset_bytes=1e12, popularity_bytes_for_80pct=0.4)
+        with pytest.raises(StorageError):
+            broker.register(1, dataset_bytes=1e12, popularity_bytes_for_80pct=0.4)
+
+
+class TestApportion:
+    def test_equal_demands_get_equal_grants(self, fabric):
+        broker = StorageBroker(fabric)
+        for job_id in (1, 2):
+            broker.register(job_id, dataset_bytes=1e15, popularity_bytes_for_80pct=0.4)
+        demand = fabric.total_bandwidth  # each asks for the whole fabric
+        grants = broker.apportion({1: demand, 2: demand})
+        assert grants[1].total_bytes_per_s == pytest.approx(grants[2].total_bytes_per_s)
+        total = sum(g.total_bytes_per_s for g in grants.values())
+        assert total <= fabric.total_bandwidth + 1e-6
+
+    def test_uncontended_demand_satisfied(self, fabric):
+        broker = StorageBroker(fabric)
+        broker.register(1, dataset_bytes=1e15, popularity_bytes_for_80pct=0.4)
+        grants = broker.apportion({1: fabric.hdd_bandwidth / 10})
+        assert grants[1].satisfied
+
+    def test_cache_expands_effective_bandwidth(self):
+        # With a cache absorbing most traffic, two jobs can jointly pull
+        # more than the HDD tier alone could serve.
+        fabric = StorageFabric(n_hdd_nodes=4, n_ssd_cache_nodes=8)
+        broker = StorageBroker(fabric)
+        for job_id in (1, 2):
+            broker.register(
+                job_id,
+                dataset_bytes=fabric.cache_capacity_bytes,
+                popularity_bytes_for_80pct=0.3,
+            )
+        demand = fabric.total_bandwidth
+        grants = broker.apportion({1: demand, 2: demand})
+        total = sum(g.total_bytes_per_s for g in grants.values())
+        assert total > fabric.hdd_bandwidth
+
+    def test_unregistered_job_rejected(self, fabric):
+        broker = StorageBroker(fabric)
+        with pytest.raises(StorageError):
+            broker.apportion({99: 1.0})
+
+
+class TestThrottledFilesystem:
+    def make_base(self):
+        filesystem = TectonicFilesystem(n_nodes=3, replication=3)
+        filesystem.create("f")
+        filesystem.append("f", b"x" * 4096)
+        return filesystem
+
+    def test_reads_account_bytes_and_time(self):
+        view = ThrottledFilesystem(self.make_base(), rate_bytes_per_s=1024.0)
+        data = view.read("f", 0, 2048)
+        assert len(data) == 2048
+        assert view.bytes_read == 2048
+        assert view.io_seconds == pytest.approx(2.0)
+
+    def test_rate_update_changes_charging(self):
+        view = ThrottledFilesystem(self.make_base(), rate_bytes_per_s=1024.0)
+        view.read("f", 0, 1024)
+        view.set_rate(2048.0)
+        view.read("f", 0, 1024)
+        assert view.io_seconds == pytest.approx(1.0 + 0.5)
+
+    def test_fetcher_matches_dwrf_interface(self):
+        view = ThrottledFilesystem(self.make_base(), rate_bytes_per_s=1e6)
+        fetch = view.fetcher("f")
+        assert fetch(0, 16) == b"x" * 16
+        assert view.read_count == 1
+
+    def test_namespace_passthrough(self):
+        base = self.make_base()
+        view = ThrottledFilesystem(base, rate_bytes_per_s=1e6)
+        assert view.list_files() == ["f"]
+        assert view.file("f").length == 4096
+        assert view.used_bytes == base.used_bytes
+
+    def test_zero_rate_rejected(self):
+        with pytest.raises(StorageError):
+            ThrottledFilesystem(self.make_base(), rate_bytes_per_s=0.0)
