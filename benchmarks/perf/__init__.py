@@ -1,0 +1,13 @@
+"""Perf-regression harness: machine-readable throughput trajectory.
+
+Unlike the paper-table benchmarks (which assert *ratios* against the
+paper), this package measures the reproduction's own wall-clock
+throughput on fixed workloads and writes a consolidated
+``BENCH_perf.json`` artifact.  Every future PR runs the same harness,
+so hot-path regressions show up as a number, not a feeling.
+
+Run standalone with ``python -m benchmarks.perf`` or as part of the
+test suite (``pytest benchmarks/perf``).
+"""
+
+from .harness import BENCH_PATH, run_all  # noqa: F401

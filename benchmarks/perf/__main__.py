@@ -1,0 +1,5 @@
+"""``python -m benchmarks.perf`` — run the harness and print the metrics."""
+
+from .harness import main
+
+main()

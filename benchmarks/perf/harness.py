@@ -1,0 +1,206 @@
+"""Microbenchmarks for the DSI data plane's real hot paths.
+
+Each benchmark times a fixed workload with ``time.perf_counter`` and
+reports a throughput metric:
+
+* ``seal_mb_per_s`` / ``unseal_mb_per_s`` — the compress+encrypt codec
+  (`repro.dwrf.encoding.seal`/``unseal``) over stripe-sized payloads;
+* ``stripe_encode_rows_per_s`` / ``stripe_decode_rows_per_s`` — the
+  FLATTENED columnar stripe codec end to end;
+* ``extract_samples_per_s`` — a full DPP session (extract → transform
+  → load) on an RM1-shaped miniature, flatmap path;
+* ``fleet_events_per_s`` — discrete-event throughput of the fleet
+  simulator (PR 1's orchestration plane).
+
+Results are merged into one ``BENCH_perf.json`` at the repo root.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+BENCH_PATH = pathlib.Path(__file__).resolve().parents[2] / "BENCH_perf.json"
+
+#: Workload sizes tuned so the full harness stays in single-digit seconds.
+SEAL_PAYLOAD_BYTES = 4 * 1024 * 1024
+STRIPE_ROWS = 2_000
+EXTRACT_ROWS = 4_000
+FLEET_JOBS = 6
+
+
+@dataclass(frozen=True)
+class Metric:
+    """One named throughput measurement."""
+
+    name: str
+    value: float
+    unit: str
+    workload: str
+
+
+def _timed(work, *, repeats: int = 1):
+    """Best-of-*repeats* wall time of ``work()`` (returns last result)."""
+    best = float("inf")
+    result = None
+    for _ in range(repeats):
+        start = time.perf_counter()
+        result = work()
+        best = min(best, time.perf_counter() - start)
+    return best, result
+
+
+def bench_seal(repeats: int = 3) -> list[Metric]:
+    """Seal/unseal throughput on a compressible stripe-sized payload."""
+    from repro.dwrf import encoding
+
+    rng = np.random.default_rng(3)
+    # Realistic compressibility: narrow-range ints, like ID streams.
+    payload = rng.integers(0, 5_000, size=SEAL_PAYLOAD_BYTES // 4).astype("<i4").tobytes()
+    mb = len(payload) / 1e6
+    seal_s, sealed = _timed(lambda: encoding.seal(payload), repeats=repeats)
+    unseal_s, _ = _timed(lambda: encoding.unseal(sealed), repeats=repeats)
+    workload = f"{mb:.0f} MB synthetic ID stream"
+    return [
+        Metric("seal_mb_per_s", mb / seal_s, "MB/s", workload),
+        Metric("unseal_mb_per_s", mb / unseal_s, "MB/s", workload),
+    ]
+
+
+def bench_stripe_codec(repeats: int = 2) -> list[Metric]:
+    """FLATTENED stripe encode/decode throughput in rows per second."""
+    from repro.dwrf.layout import EncodingOptions, FileLayout
+    from repro.dwrf.reader import DwrfReader
+    from repro.dwrf.writer import write_table_partition
+    from repro.workloads import RM1, build_mini_dataset
+
+    dataset = build_mini_dataset(RM1, ["p0"], STRIPE_ROWS, seed=5)
+    rows = dataset.table.partition("p0").rows
+    options = EncodingOptions(layout=FileLayout.FLATTENED, stripe_rows=STRIPE_ROWS)
+    encode_s, dwrf = _timed(
+        lambda: write_table_partition(rows, dataset.table.schema, options),
+        repeats=repeats,
+    )
+    decode_s, decoded = _timed(
+        lambda: list(DwrfReader.for_file(dwrf).read_rows(dataset.table.schema)),
+        repeats=repeats,
+    )
+    assert len(decoded) == len(rows)
+    workload = f"RM1 miniature, {len(rows)} rows, 1 stripe"
+    return [
+        Metric("stripe_encode_rows_per_s", len(rows) / encode_s, "rows/s", workload),
+        Metric("stripe_decode_rows_per_s", len(rows) / decode_s, "rows/s", workload),
+    ]
+
+
+def bench_extract(repeats: int = 1) -> list[Metric]:
+    """End-to-end DPP session throughput (extract → transform → load)."""
+    from repro.dpp.service import DppSession
+    from repro.dpp.spec import SessionSpec
+    from repro.dwrf.layout import EncodingOptions, FileLayout
+    from repro.tectonic.filesystem import TectonicFilesystem
+    from repro.warehouse.publish import publish_table
+    from repro.workloads import RM1, build_mini_dataset
+
+    dataset = build_mini_dataset(RM1, ["p0"], EXTRACT_ROWS, seed=9)
+
+    def run_session() -> int:
+        filesystem = TectonicFilesystem(n_nodes=6)
+        footers = publish_table(
+            filesystem,
+            dataset.table,
+            EncodingOptions(layout=FileLayout.FLATTENED, stripe_rows=1_000),
+        )
+        spec = SessionSpec(
+            table_name=dataset.table.name,
+            partitions=tuple(dataset.table.partition_names()),
+            projection=dataset.projection,
+            dag=dataset.dag,
+            output_ids=dataset.output_ids,
+            batch_size=256,
+            coalesce_window=1_310_720,
+        )
+        session = DppSession(spec, filesystem, dataset.schema, footers, n_workers=2)
+        session.pump()
+        return sum(w.stats.rows_processed for w in session.workers)
+
+    elapsed, rows = _timed(run_session, repeats=repeats)
+    workload = f"RM1 miniature, {EXTRACT_ROWS} rows, publish + 2-worker session"
+    return [Metric("extract_samples_per_s", rows / elapsed, "samples/s", workload)]
+
+
+def bench_fleet(repeats: int = 1) -> list[Metric]:
+    """Discrete-event throughput of the fleet orchestration plane."""
+    from repro.cluster.job import JobKind
+    from repro.fleet import FleetConfig, FleetJobSpec, FleetSimulator, PoolConfig, StorageFabric
+    from repro.workloads.models import RM1, RM2
+
+    config = FleetConfig(
+        fabric=StorageFabric(n_hdd_nodes=40, n_ssd_cache_nodes=4),
+        n_trainer_nodes=32,
+        pool=PoolConfig(max_workers=2_000),
+    )
+    jobs = [
+        FleetJobSpec(
+            job_id=i,
+            model=RM1 if i % 2 == 0 else RM2,
+            kind=JobKind.EXPLORATORY,
+            arrival_s=120.0 * i,
+            trainer_nodes=2,
+            target_samples=0.5 * 3600 * 2 * (RM1 if i % 2 == 0 else RM2).samples_per_s_per_trainer,
+        )
+        for i in range(FLEET_JOBS)
+    ]
+
+    def run_fleet() -> int:
+        simulator = FleetSimulator(config, list(jobs))
+        simulator.schedule()
+        fired = 0
+        while simulator.clock.step():
+            fired += 1
+        return fired
+
+    elapsed, events = _timed(run_fleet, repeats=repeats)
+    workload = f"{FLEET_JOBS} staggered jobs, run to completion ({events} events)"
+    return [Metric("fleet_events_per_s", events / elapsed, "events/s", workload)]
+
+
+def run_all(write: bool = True, path: pathlib.Path | None = None) -> dict:
+    """Run every microbenchmark; optionally persist the JSON artifact.
+
+    The default *path* is the repo-root ``BENCH_perf.json`` (the
+    committed trajectory reference) — only the deliberate
+    ``python -m benchmarks.perf`` entry point writes there; the tier-1
+    structural test passes a temp path so plain ``pytest`` runs never
+    dirty the tree with machine-local numbers.
+    """
+    metrics: list[Metric] = []
+    for bench in (bench_seal, bench_stripe_codec, bench_extract, bench_fleet):
+        metrics.extend(bench())
+    payload = {
+        "harness": "benchmarks.perf",
+        "metrics": {
+            m.name: {"value": round(m.value, 3), "unit": m.unit, "workload": m.workload}
+            for m in metrics
+        },
+    }
+    if write:
+        target = BENCH_PATH if path is None else path
+        target.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    return payload
+
+
+def main() -> None:
+    payload = run_all()
+    width = max(len(name) for name in payload["metrics"])
+    print(f"perf harness → {BENCH_PATH}")
+    for name, entry in payload["metrics"].items():
+        print(f"  {name:<{width}}  {entry['value']:>14,.1f} {entry['unit']:<10} [{entry['workload']}]")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,34 @@
+"""The perf harness runs inside tier-1 and emits a valid artifact.
+
+Assertions here are structural (every named metric present with a
+positive value) — absolute throughput floors would flake across
+machines.  The test writes to a temp path so plain ``pytest`` runs
+never touch the committed repo-root ``BENCH_perf.json``; that file is
+refreshed deliberately via ``python -m benchmarks.perf`` (the CI perf
+job does this and uploads it), and trajectory comparisons across PRs
+diff the committed artifact.
+"""
+
+import json
+
+from .harness import run_all
+
+REQUIRED_METRICS = {
+    "seal_mb_per_s",
+    "unseal_mb_per_s",
+    "stripe_encode_rows_per_s",
+    "stripe_decode_rows_per_s",
+    "extract_samples_per_s",
+    "fleet_events_per_s",
+}
+
+
+def test_perf_harness_writes_consolidated_artifact(tmp_path):
+    artifact = tmp_path / "BENCH_perf.json"
+    payload = run_all(write=True, path=artifact)
+    assert json.loads(artifact.read_text()) == payload
+    assert REQUIRED_METRICS <= set(payload["metrics"])
+    for name, entry in payload["metrics"].items():
+        assert entry["value"] > 0, f"metric {name} measured non-positive throughput"
+        assert entry["unit"]
+        assert entry["workload"]

@@ -22,9 +22,10 @@ from dataclasses import dataclass
 
 from ..dwrf.layout import EncodingOptions, FileLayout
 from ..dwrf.reader import IOTrace
+from ..dwrf.writer import DwrfFile
 from ..tectonic.filesystem import TectonicFilesystem
 from ..tectonic.media import COALESCE_WINDOW_BYTES, MediaModel, hdd_node
-from ..warehouse.publish import publish_table
+from ..warehouse.publish import encode_table, store_files
 from ..workloads.datasets import MiniDataset
 from ..dpp.service import DppSession
 from ..dpp.spec import SessionSpec
@@ -126,22 +127,37 @@ def projection_byte_fraction(dataset: MiniDataset, stripe_rows: int = 512) -> fl
     return measure_read_selectivity(dataset, stripe_rows).pct_bytes_used / 100.0
 
 
+def stage_encoding_options(
+    dataset: MiniDataset, stage: AblationStage
+) -> EncodingOptions:
+    """The layout knobs one ablation stage publishes under."""
+    return EncodingOptions(
+        layout=stage.layout,
+        stripe_rows=stage.stripe_rows,
+        feature_order=popularity_feature_order(dataset) if stage.popularity_order else None,
+    )
+
+
 def run_stage(
     dataset: MiniDataset,
     stage: AblationStage,
     media: MediaModel | None = None,
     n_workers: int = 2,
     map_useful_fraction: float | None = None,
+    encoded_files: dict[str, DwrfFile] | None = None,
 ) -> StageResult:
-    """Publish the dataset under the stage's layout and run a session."""
+    """Publish the dataset under the stage's layout and run a session.
+
+    *encoded_files* short-circuits the (deterministic) DWRF encode —
+    consecutive stages that share layout knobs reuse one encoding.
+    """
     media = media or hdd_node()
     filesystem = TectonicFilesystem(n_nodes=6)
-    encoding = EncodingOptions(
-        layout=stage.layout,
-        stripe_rows=stage.stripe_rows,
-        feature_order=popularity_feature_order(dataset) if stage.popularity_order else None,
-    )
-    footers = publish_table(filesystem, dataset.table, encoding)
+    if encoded_files is None:
+        encoded_files = encode_table(
+            dataset.table, stage_encoding_options(dataset, stage)
+        )
+    footers = store_files(filesystem, dataset.table.name, encoded_files)
     spec = SessionSpec(
         table_name=dataset.table.name,
         partitions=tuple(dataset.table.partition_names()),
@@ -206,9 +222,21 @@ def run_ablation(
     stripes pay off (Section 7.5).
     """
     fraction = projection_byte_fraction(dataset)
-    return AblationResult(
-        [
-            run_stage(dataset, stage, media, map_useful_fraction=fraction)
-            for stage in stages(base_stripe_rows, large_stripe_rows)
-        ]
-    )
+    # EncodingOptions is frozen/hashable, so the options object itself
+    # keys the cache — every knob that shapes the bytes participates.
+    encoded_cache: dict[EncodingOptions, dict[str, DwrfFile]] = {}
+    results = []
+    for stage in stages(base_stripe_rows, large_stripe_rows):
+        options = stage_encoding_options(dataset, stage)
+        if options not in encoded_cache:
+            encoded_cache[options] = encode_table(dataset.table, options)
+        results.append(
+            run_stage(
+                dataset,
+                stage,
+                media,
+                map_useful_fraction=fraction,
+                encoded_files=encoded_cache[options],
+            )
+        )
+    return AblationResult(results)

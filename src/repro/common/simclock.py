@@ -28,17 +28,45 @@ class _ScheduledEvent:
 class EventHandle:
     """Handle returned by :meth:`SimClock.schedule`, usable to cancel."""
 
-    def __init__(self, event: _ScheduledEvent) -> None:
+    def __init__(self, event: _ScheduledEvent, clock: "SimClock") -> None:
         self._event = event
+        self._clock = clock
 
     def cancel(self) -> None:
         """Prevent the event from firing if it has not fired yet."""
-        self._event.cancelled = True
+        if not self._event.cancelled:
+            self._event.cancelled = True
+            self._clock._live -= 1
 
     @property
     def time(self) -> float:
         """The virtual time the event is scheduled for."""
         return self._event.time
+
+
+class PeriodicHandle:
+    """Handle returned by :meth:`SimClock.every`, usable to stop the tick.
+
+    Periodic processes reschedule themselves after every firing; this
+    handle tracks the currently-scheduled occurrence so the recurrence
+    can be cancelled from outside (e.g. a fleet simulator tearing down
+    a finished job's control loop).
+    """
+
+    def __init__(self) -> None:
+        self._inner: EventHandle | None = None
+        self._stopped = False
+
+    def cancel(self) -> None:
+        """Stop the recurrence; the pending occurrence never fires."""
+        self._stopped = True
+        if self._inner is not None:
+            self._inner.cancel()
+
+    @property
+    def active(self) -> bool:
+        """Whether the periodic process still has a pending occurrence."""
+        return not self._stopped and self._inner is not None
 
 
 class SimClock:
@@ -48,6 +76,9 @@ class SimClock:
         self._now = start
         self._heap: list[_ScheduledEvent] = []
         self._seq = itertools.count()
+        # Live-event counter: incremented on schedule, decremented on
+        # cancel and fire, so `pending` never scans the heap.
+        self._live = 0
 
     @property
     def now(self) -> float:
@@ -60,31 +91,44 @@ class SimClock:
             raise ValueError("cannot schedule events in the past")
         event = _ScheduledEvent(self._now + delay, next(self._seq), callback)
         heapq.heappush(self._heap, event)
-        return EventHandle(event)
+        self._live += 1
+        return EventHandle(event, self)
 
     def schedule_at(self, when: float, callback: EventCallback) -> EventHandle:
         """Run *callback* at absolute virtual time *when*."""
         return self.schedule(when - self._now, callback)
 
-    def every(self, interval: float, callback: EventCallback, *, until: float | None = None) -> None:
+    def every(
+        self,
+        interval: float,
+        callback: EventCallback,
+        *,
+        until: float | None = None,
+    ) -> PeriodicHandle:
         """Run *callback* every *interval* seconds, optionally until *until*.
 
         The callback runs first at ``now + interval``.  Periodic events
         reschedule themselves after each firing, so a callback that
-        raises stops its own recurrence.
+        raises stops its own recurrence.  The returned
+        :class:`PeriodicHandle` cancels the recurrence from outside.
         """
         if interval <= 0:
             raise ValueError("interval must be positive")
+        handle = PeriodicHandle()
 
         def tick() -> None:
+            handle._inner = None
             callback()
+            if handle._stopped:
+                return
             next_time = self._now + interval
             if until is None or next_time <= until:
-                self.schedule(interval, tick)
+                handle._inner = self.schedule(interval, tick)
 
         first = self._now + interval
         if until is None or first <= until:
-            self.schedule(interval, tick)
+            handle._inner = self.schedule(interval, tick)
+        return handle
 
     def step(self) -> bool:
         """Fire the next pending event.  Returns False if none remain."""
@@ -93,6 +137,8 @@ class SimClock:
             if event.cancelled:
                 continue
             self._now = event.time
+            event.cancelled = True  # fired: a late cancel() must not double-count
+            self._live -= 1
             event.callback()
             return True
         return False
@@ -127,4 +173,4 @@ class SimClock:
     @property
     def pending(self) -> int:
         """Number of scheduled (uncancelled) events still in the queue."""
-        return sum(1 for event in self._heap if not event.cancelled)
+        return self._live

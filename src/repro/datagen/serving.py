@@ -58,9 +58,11 @@ class ServingSimulator:
         with a small probability (clients navigate away, loggers fail),
         which is why ETL joins are lossy in production.
         """
+        return self._serve(self._generator.generate_row(self.schema), timestamp)
+
+    def _serve(self, row, timestamp: float) -> int:
         request_id = self._next_request_id
         self._next_request_id += 1
-        row = self._generator.generate_row(self.schema)
         features = FeatureLog(
             request_id=request_id,
             timestamp=timestamp,
@@ -82,7 +84,15 @@ class ServingSimulator:
         return request_id
 
     def serve_many(self, n: int, start_time: float = 0.0, rate_per_s: float = 100.0) -> None:
-        """Serve *n* requests at a fixed rate, then flush the daemon."""
-        for i in range(n):
-            self.serve_one(start_time + i / rate_per_s)
+        """Serve *n* requests at a fixed rate, then flush the daemon.
+
+        Feature rows are drawn from the generator in vectorized chunks
+        — exactly *n* rows total, never a prefetch beyond what was
+        requested, so other consumers sharing the generator are not
+        starved of samples.  The chunked draw sequence differs from *n*
+        ``serve_one`` calls (column-wise vs row-wise RNG order), but
+        the sample statistics are identical.
+        """
+        for i, row in enumerate(self._generator.iter_rows(self.schema, n)):
+            self._serve(row, start_time + i / rate_per_s)
         self._daemon.flush()

@@ -216,7 +216,7 @@ class DppWorker:
         payloads = reader._fetch_streams(stripe)
         options = reader.footer.options
         labels = decode_labels(payloads[(ROW_LEVEL, StreamKind.LABEL)], options)
-        batch = FeatureBatch(labels=np.asarray(labels, dtype=np.float32))
+        batch = FeatureBatch(labels=labels)
         n_values = len(labels)
         for fid in sorted(self.spec.projection):
             if not stripe.has_stream(fid, StreamKind.PRESENCE):
@@ -229,7 +229,7 @@ class DppWorker:
                 value_payload = payloads[(fid, StreamKind.SPARSE_VALUES)]
                 lengths_payload = payloads[(fid, StreamKind.SPARSE_LENGTHS)]
             scores_payload = payloads.get((fid, StreamKind.SCORE_VALUES))
-            presence, values, scores = decode_flattened_feature(
+            decoded = decode_flattened_feature(
                 spec.ftype,
                 stripe.row_count,
                 options,
@@ -238,27 +238,19 @@ class DppWorker:
                 lengths_payload,
                 scores_payload,
             )
-            presence_arr = np.asarray(presence, dtype=bool)
             if spec.ftype is FeatureType.DENSE:
                 full = np.zeros(stripe.row_count, dtype=np.float32)
-                full[presence_arr] = np.asarray(values, dtype=np.float32)
-                batch.add_column(fid, DenseColumn(full, presence_arr))
-                n_values += len(values)
+                full[decoded.presence] = decoded.dense_values
+                batch.add_column(fid, DenseColumn(full, decoded.presence))
+                n_values += len(decoded.dense_values)
             else:
-                lists: list[list[int]] = []
-                weight_lists: list[list[float]] | None = [] if scores is not None else None
-                cursor = 0
-                for here in presence:
-                    if here:
-                        lists.append(list(values[cursor]))
-                        if weight_lists is not None:
-                            weight_lists.append(list(scores[cursor]))
-                        cursor += 1
-                    else:
-                        lists.append([])
-                        if weight_lists is not None:
-                            weight_lists.append([])
-                column = SparseColumn.from_lists(lists, weight_lists)
+                # Decoded flat arrays become the column's backing
+                # storage directly; absent rows get empty spans.
+                column = SparseColumn(
+                    decoded.row_offsets(stripe.row_count),
+                    decoded.sparse_values,
+                    decoded.scores,
+                )
                 batch.add_column(fid, column)
                 n_values += len(column.values)
         return batch, n_values
@@ -283,11 +275,18 @@ class DppWorker:
                     ),
                 )
             else:
-                weights = [[] for _ in range(n)] if (
-                    spec.ftype is FeatureType.SCORED_SPARSE
-                ) else None
+                weights = (
+                    np.empty(0, dtype=np.float32)
+                    if spec.ftype is FeatureType.SCORED_SPARSE
+                    else None
+                )
                 batch.add_column(
-                    fid, SparseColumn.from_lists([[] for _ in range(n)], weights)
+                    fid,
+                    SparseColumn(
+                        np.zeros(n + 1, dtype=np.int64),
+                        np.empty(0, dtype=np.int64),
+                        weights,
+                    ),
                 )
 
     @staticmethod

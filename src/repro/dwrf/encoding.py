@@ -21,6 +21,10 @@ import numpy as np
 from ..common.errors import FormatError
 
 _XOR_KEY = bytes(range(251, 0, -7))  # fixed 36-byte rolling key
+_XOR_KEY_ARRAY = np.frombuffer(_XOR_KEY, dtype=np.uint8)
+# Pre-tiled key covering typical stripe payloads; slicing from index 0
+# preserves the rolling phase, larger payloads re-tile on demand.
+_XOR_KEY_TILE = np.resize(_XOR_KEY_ARRAY, 1 << 20)
 
 
 def zigzag_encode(value: int) -> int:
@@ -88,7 +92,13 @@ def encode_ints(values) -> bytes:
 
 
 def decode_ints(data: bytes) -> np.ndarray:
-    """Inverse of :func:`encode_ints`; returns an int64 array."""
+    """Inverse of :func:`encode_ints`; returns an int64 array.
+
+    Width-8 payloads decode zero-copy: the returned array is a
+    read-only view over the stream bytes (``copy=False`` semantics), so
+    callers that need to mutate must ``.copy()`` first — attempting an
+    in-place write raises instead of silently corrupting the stream.
+    """
     if not data:
         raise FormatError("empty integer stream")
     width, payload = data[0], data[1:]
@@ -100,7 +110,8 @@ def decode_ints(data: bytes) -> np.ndarray:
         raise FormatError(f"unknown integer stream width {width}")
     if len(payload) % width:
         raise FormatError("integer stream length not a multiple of its width")
-    return np.frombuffer(payload, dtype=dtype).astype(np.int64)
+    array = np.frombuffer(payload, dtype=dtype)
+    return array.astype(np.int64, copy=False)
 
 
 def pack_floats(values: Sequence[float]) -> bytes:
@@ -108,11 +119,11 @@ def pack_floats(values: Sequence[float]) -> bytes:
     return np.asarray(values, dtype="<f4").tobytes()
 
 
-def unpack_floats(data: bytes) -> list[float]:
-    """Unpack little-endian float32 bytes."""
+def unpack_floats(data: bytes) -> np.ndarray:
+    """Unpack little-endian float32 bytes into a (read-only) array."""
     if len(data) % 4:
         raise FormatError("float stream length not a multiple of 4")
-    return [float(x) for x in np.frombuffer(data, dtype="<f4")]
+    return np.frombuffer(data, dtype="<f4")
 
 
 def pack_bitmap(bits: Sequence[bool]) -> bytes:
@@ -120,17 +131,23 @@ def pack_bitmap(bits: Sequence[bool]) -> bytes:
     return np.packbits(np.asarray(bits, dtype=bool), bitorder="little").tobytes()
 
 
-def unpack_bitmap(data: bytes, count: int) -> list[bool]:
-    """Unpack *count* booleans from a bitmap."""
+def unpack_bitmap(data: bytes, count: int) -> np.ndarray:
+    """Unpack *count* booleans from a bitmap into a bool array."""
     if count > len(data) * 8:
         raise FormatError("bitmap shorter than requested count")
     bits = np.unpackbits(np.frombuffer(data, dtype=np.uint8), bitorder="little")
-    return [bool(b) for b in bits[:count]]
+    return bits[:count].astype(bool)
 
 
 def _xor_cipher(data: bytes) -> bytes:
-    key = _XOR_KEY
-    return bytes(b ^ key[i % len(key)] for i, b in enumerate(data))
+    if not data:
+        return b""
+    array = np.frombuffer(data, dtype=np.uint8)
+    if array.size <= _XOR_KEY_TILE.size:
+        key = _XOR_KEY_TILE[: array.size]
+    else:
+        key = np.resize(_XOR_KEY_ARRAY, array.size)  # cyclic tile of the key
+    return np.bitwise_xor(array, key).tobytes()
 
 
 def seal(payload: bytes, *, compress: bool = True, encrypt: bool = True) -> bytes:

@@ -19,6 +19,8 @@ import zlib
 from dataclasses import dataclass, field
 from typing import Callable, Iterator, Sequence
 
+import numpy as np
+
 from ..common.errors import FormatError
 from ..common.stats import DistributionSummary, summarize
 from ..warehouse.row import Row
@@ -256,7 +258,7 @@ class DwrfReader:
     ) -> list[Row]:
         options = self.footer.options
         labels = decode_labels(payloads[(ROW_LEVEL, StreamKind.LABEL)], options)
-        rows = [Row(label=label) for label in labels]
+        rows = [Row(label=label) for label in labels.tolist()]
         projection = self.options.projection
         for fid in self.footer.feature_ids:
             if projection is not None and fid not in projection:
@@ -272,7 +274,7 @@ class DwrfReader:
                 value_payload = payloads[(fid, StreamKind.SPARSE_VALUES)]
                 lengths_payload = payloads[(fid, StreamKind.SPARSE_LENGTHS)]
             scores_payload = payloads.get((fid, StreamKind.SCORE_VALUES))
-            presence, values, scores = decode_flattened_feature(
+            decoded = decode_flattened_feature(
                 spec.ftype,
                 stripe.row_count,
                 options,
@@ -281,17 +283,23 @@ class DwrfReader:
                 lengths_payload,
                 scores_payload,
             )
-            cursor = 0
-            for row, here in zip(rows, presence):
-                if not here:
-                    continue
-                if spec.ftype is FeatureType.DENSE:
-                    row.dense[fid] = values[cursor]
-                else:
-                    row.sparse[fid] = values[cursor]
-                    if scores is not None:
-                        row.scores[fid] = scores[cursor]
-                cursor += 1
+            present_indices = np.flatnonzero(decoded.presence)
+            if spec.ftype is FeatureType.DENSE:
+                values = decoded.dense_values.tolist()
+                for cursor, index in enumerate(present_indices):
+                    rows[index].dense[fid] = values[cursor]
+                continue
+            # Row materialization is the deliberately-costly ablation
+            # arm: flat arrays are cut back into per-row Python lists.
+            offsets = decoded.present_offsets().tolist()
+            flat = decoded.sparse_values.tolist()
+            flat_scores = None if decoded.scores is None else decoded.scores.tolist()
+            for cursor, index in enumerate(present_indices):
+                lo, hi = offsets[cursor], offsets[cursor + 1]
+                row = rows[index]
+                row.sparse[fid] = flat[lo:hi]
+                if flat_scores is not None:
+                    row.scores[fid] = flat_scores[lo:hi]
         return rows
 
     def read_rows(self, schema: TableSchema) -> Iterator[Row]:

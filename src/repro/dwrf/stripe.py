@@ -13,7 +13,10 @@ This is the core of the format.  Two layouts are supported:
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import Sequence
+
+import numpy as np
 
 from ..common.errors import FormatError
 from ..warehouse.row import Row
@@ -95,55 +98,163 @@ def _encode_map_stripe(
     return streams
 
 
-def _encode_flattened_stripe(
-    rows: Sequence[Row], schema: TableSchema, options: EncodingOptions
-) -> list[PendingStream]:
-    labels = encoding.pack_floats([row.label for row in rows])
-    streams = [PendingStream(ROW_LEVEL, StreamKind.LABEL, _seal(labels, options))]
+class _DenseAccumulator:
+    """Row indices + values of one dense feature within a stripe."""
 
-    for fid in _ordered_feature_ids(schema, options):
-        spec = schema.get(fid)
-        presence = [row.has_feature(fid) for row in rows]
-        if not any(presence):
-            continue  # feature absent from the whole stripe: no streams
-        streams.append(
-            PendingStream(
-                fid, StreamKind.PRESENCE, _seal(encoding.pack_bitmap(presence), options)
-            )
-        )
-        present_rows = [row for row, here in zip(rows, presence) if here]
-        if spec.ftype is FeatureType.DENSE:
-            values = encoding.pack_floats([row.dense[fid] for row in present_rows])
+    __slots__ = ("rows", "values")
+
+    def __init__(self) -> None:
+        self.rows: list[int] = []
+        self.values: list[float] = []
+
+
+class _SparseAccumulator:
+    """Row indices, lengths, and flat IDs/scores of one sparse feature."""
+
+    __slots__ = ("rows", "lengths", "values", "scores")
+
+    def __init__(self) -> None:
+        self.rows: list[int] = []
+        self.lengths: list[int] = []
+        self.values: list[int] = []
+        self.scores: list[float] = []
+
+
+class StripeColumnarBuilder:
+    """Accumulates rows column-wise so a stripe packs without row scans.
+
+    Each :meth:`add_row` walks only the features the row actually
+    logged (one pass over its maps); :meth:`build` packs every
+    feature's accumulated arrays in stream order.  This replaces the
+    per-feature ``[... for row in rows]`` scans, which cost
+    O(features x rows) regardless of coverage, while producing
+    byte-identical streams.
+    """
+
+    def __init__(self, schema: TableSchema, options: EncodingOptions) -> None:
+        self.schema = schema
+        self.options = options
+        self._labels: list[float] = []
+        self._dense: dict[int, _DenseAccumulator] = {}
+        self._sparse: dict[int, _SparseAccumulator] = {}
+        self._scored_ids = {
+            spec.feature_id
+            for spec in schema
+            if spec.ftype is FeatureType.SCORED_SPARSE
+        }
+
+    @property
+    def n_rows(self) -> int:
+        """Rows accumulated so far."""
+        return len(self._labels)
+
+    def add_row(self, row: Row) -> None:
+        """Fold one row's feature maps into the per-feature columns."""
+        index = len(self._labels)
+        self._labels.append(row.label)
+        for fid, value in row.dense.items():
+            acc = self._dense.get(fid)
+            if acc is None:
+                acc = self._dense[fid] = _DenseAccumulator()
+            acc.rows.append(index)
+            acc.values.append(value)
+        for fid, ids in row.sparse.items():
+            acc = self._sparse.get(fid)
+            if acc is None:
+                acc = self._sparse[fid] = _SparseAccumulator()
+            acc.rows.append(index)
+            acc.lengths.append(len(ids))
+            acc.values.extend(ids)
+            if fid in self._scored_ids:
+                try:
+                    acc.scores.extend(row.scores[fid])
+                except KeyError:
+                    raise FormatError(
+                        f"scored feature {fid} logged without score weights"
+                    ) from None
+        if row.scores:
+            for fid in row.scores:
+                if fid not in row.sparse:
+                    raise FormatError(
+                        f"feature {fid} logged score weights without ids"
+                    )
+
+    def build(self) -> list[PendingStream]:
+        """Pack the accumulated columns into the stripe's streams."""
+        if not self._labels:
+            raise FormatError("cannot encode an empty stripe")
+        options = self.options
+        n = len(self._labels)
+        labels = encoding.pack_floats(self._labels)
+        streams = [PendingStream(ROW_LEVEL, StreamKind.LABEL, _seal(labels, options))]
+
+        for fid in _ordered_feature_ids(self.schema, options):
+            spec = self.schema.get(fid)
+            dense_acc = self._dense.get(fid)
+            sparse_acc = self._sparse.get(fid)
+            if dense_acc is None and sparse_acc is None:
+                continue  # feature absent from the whole stripe: no streams
+            if spec.ftype is FeatureType.DENSE:
+                if sparse_acc is not None:
+                    raise FormatError(f"dense feature {fid} logged sparse values")
+                presence = np.zeros(n, dtype=bool)
+                presence[dense_acc.rows] = True
+                streams.append(
+                    PendingStream(
+                        fid,
+                        StreamKind.PRESENCE,
+                        _seal(encoding.pack_bitmap(presence), options),
+                    )
+                )
+                values = encoding.pack_floats(dense_acc.values)
+                streams.append(
+                    PendingStream(fid, StreamKind.DENSE_VALUES, _seal(values, options))
+                )
+                continue
+            if dense_acc is not None:
+                raise FormatError(f"sparse feature {fid} logged dense values")
+            presence = np.zeros(n, dtype=bool)
+            presence[sparse_acc.rows] = True
             streams.append(
-                PendingStream(fid, StreamKind.DENSE_VALUES, _seal(values, options))
+                PendingStream(
+                    fid,
+                    StreamKind.PRESENCE,
+                    _seal(encoding.pack_bitmap(presence), options),
+                )
             )
-        else:
-            lengths = [len(row.sparse[fid]) for row in present_rows]
-            flat_ids = [v for row in present_rows for v in row.sparse[fid]]
             streams.append(
                 PendingStream(
                     fid,
                     StreamKind.SPARSE_LENGTHS,
-                    _seal(encoding.encode_ints(lengths), options),
+                    _seal(encoding.encode_ints(sparse_acc.lengths), options),
                 )
             )
             streams.append(
                 PendingStream(
                     fid,
                     StreamKind.SPARSE_VALUES,
-                    _seal(encoding.encode_ints(flat_ids), options),
+                    _seal(encoding.encode_ints(sparse_acc.values), options),
                 )
             )
             if spec.ftype is FeatureType.SCORED_SPARSE:
-                flat_scores = [w for row in present_rows for w in row.scores[fid]]
                 streams.append(
                     PendingStream(
                         fid,
                         StreamKind.SCORE_VALUES,
-                        _seal(encoding.pack_floats(flat_scores), options),
+                        _seal(encoding.pack_floats(sparse_acc.scores), options),
                     )
                 )
-    return streams
+        return streams
+
+
+def _encode_flattened_stripe(
+    rows: Sequence[Row], schema: TableSchema, options: EncodingOptions
+) -> list[PendingStream]:
+    """Columnar-builder encode of a row batch (kept as a named helper)."""
+    builder = StripeColumnarBuilder(schema, options)
+    for row in rows:
+        builder.add_row(row)
+    return builder.build()
 
 
 def decode_map_stripe(
@@ -159,12 +270,12 @@ def decode_map_stripe(
     decoded even when *projection* wants a handful of features — the
     filter applies only after decoding.
     """
-    labels = encoding.unpack_floats(_unseal(label_payload, options))
+    labels = encoding.unpack_floats(_unseal(label_payload, options)).tolist()
     payload = _unseal(rows_payload, options)
     header, rest = _split_varint_header(payload)
     int_payload, float_payload = rest[:header], rest[header:]
     ints = encoding.decode_ints(int_payload).tolist()
-    floats = encoding.unpack_floats(float_payload)
+    floats = encoding.unpack_floats(float_payload).tolist()
 
     rows: list[Row] = []
     ii = 0  # int cursor
@@ -203,6 +314,43 @@ def _split_varint_header(payload: bytes) -> tuple[int, bytes]:
     return header, payload[cursor:]
 
 
+@dataclass(frozen=True)
+class DecodedFeature:
+    """One feature's streams decoded into flat arrays (no per-row lists).
+
+    ``presence`` is a bool array over the stripe's rows.  Dense
+    features carry ``dense_values`` (float32, one per present row).
+    Sparse features carry ``lengths`` (int64, one per present row) plus
+    the flat ``sparse_values`` (int64) and, when scored, ``scores``
+    (float32) parallel to them.  Consumers slice per row only when they
+    genuinely need row-major data (the ablation's costly arm).
+    """
+
+    presence: np.ndarray
+    dense_values: np.ndarray | None = None
+    lengths: np.ndarray | None = None
+    sparse_values: np.ndarray | None = None
+    scores: np.ndarray | None = None
+
+    def present_offsets(self) -> np.ndarray:
+        """Offsets into the flat sparse arrays, one per present row + 1."""
+        if self.lengths is None:
+            raise FormatError("dense feature has no sparse offsets")
+        offsets = np.zeros(len(self.lengths) + 1, dtype=np.int64)
+        np.cumsum(self.lengths, out=offsets[1:])
+        return offsets
+
+    def row_offsets(self, row_count: int) -> np.ndarray:
+        """Offsets over *all* rows (absent rows contribute empty spans)."""
+        if self.lengths is None:
+            raise FormatError("dense feature has no sparse offsets")
+        full = np.zeros(row_count, dtype=np.int64)
+        full[self.presence] = self.lengths
+        offsets = np.zeros(row_count + 1, dtype=np.int64)
+        np.cumsum(full, out=offsets[1:])
+        return offsets
+
+
 def decode_flattened_feature(
     spec_type: FeatureType,
     row_count: int,
@@ -211,40 +359,30 @@ def decode_flattened_feature(
     value_payload: bytes,
     lengths_payload: bytes | None = None,
     scores_payload: bytes | None = None,
-) -> tuple[list[bool], list, list[list[float]] | None]:
+) -> DecodedFeature:
     """Decode one feature's streams from a flattened stripe.
 
-    Returns ``(presence, values, scores)`` where *values* is a list of
-    floats (dense) or a list of ID lists (sparse), aligned with the
-    present rows, and *scores* parallels the sparse values when the
-    feature is scored.
+    Returns a :class:`DecodedFeature` of flat numpy arrays; decoding
+    never materializes per-row Python lists.
     """
     presence = encoding.unpack_bitmap(_unseal(presence_payload, options), row_count)
     if spec_type is FeatureType.DENSE:
         values = encoding.unpack_floats(_unseal(value_payload, options))
-        return presence, values, None
+        return DecodedFeature(presence=presence, dense_values=values)
     if lengths_payload is None:
         raise FormatError("sparse feature missing lengths stream")
-    lengths = encoding.decode_ints(_unseal(lengths_payload, options)).tolist()
-    flat = encoding.decode_ints(_unseal(value_payload, options)).tolist()
-    values = []
-    cursor = 0
-    for length in lengths:
-        values.append(flat[cursor : cursor + length])
-        cursor += length
-    scores: list[list[float]] | None = None
+    lengths = encoding.decode_ints(_unseal(lengths_payload, options))
+    flat = encoding.decode_ints(_unseal(value_payload, options))
+    scores: np.ndarray | None = None
     if spec_type is FeatureType.SCORED_SPARSE:
         if scores_payload is None:
             raise FormatError("scored feature missing scores stream")
-        flat_scores = encoding.unpack_floats(_unseal(scores_payload, options))
-        scores = []
-        cursor = 0
-        for length in lengths:
-            scores.append(flat_scores[cursor : cursor + length])
-            cursor += length
-    return presence, values, scores
+        scores = encoding.unpack_floats(_unseal(scores_payload, options))
+    return DecodedFeature(
+        presence=presence, lengths=lengths, sparse_values=flat, scores=scores
+    )
 
 
-def decode_labels(payload: bytes, options: EncodingOptions) -> list[float]:
-    """Decode a label stream."""
+def decode_labels(payload: bytes, options: EncodingOptions) -> np.ndarray:
+    """Decode a label stream into a float32 array."""
     return encoding.unpack_floats(_unseal(payload, options))

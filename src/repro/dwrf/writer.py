@@ -17,9 +17,9 @@ from typing import Iterable
 from ..common.errors import FormatError
 from ..warehouse.row import Row
 from ..warehouse.schema import TableSchema
-from .layout import EncodingOptions, FileFooter, StripeMeta
+from .layout import EncodingOptions, FileFooter, FileLayout, StripeMeta
 from .stream import StreamInfo
-from .stripe import encode_stripe
+from .stripe import StripeColumnarBuilder, _encode_map_stripe
 
 
 @dataclass
@@ -41,17 +41,31 @@ class DwrfWriter:
     def __init__(self, schema: TableSchema, options: EncodingOptions | None = None) -> None:
         self.schema = schema
         self.options = options or EncodingOptions()
+        # MAP stripes are encoded row-wise and buffer whole rows; the
+        # FLATTENED layout accumulates column-wise as rows arrive so a
+        # full stripe packs in one vectorized pass.
         self._buffer: list[Row] = []
+        self._builder: StripeColumnarBuilder | None = None
+        if self.options.layout is not FileLayout.MAP:
+            self._builder = StripeColumnarBuilder(self.schema, self.options)
         self._data = bytearray()
         self._stripes: list[StripeMeta] = []
         self._closed = False
+
+    def _pending_rows(self) -> int:
+        if self._builder is not None:
+            return self._builder.n_rows
+        return len(self._buffer)
 
     def write_row(self, row: Row) -> None:
         """Buffer one row, flushing a stripe when the budget fills."""
         if self._closed:
             raise FormatError("writer already closed")
-        self._buffer.append(row)
-        if len(self._buffer) >= self.options.stripe_rows:
+        if self._builder is not None:
+            self._builder.add_row(row)
+        else:
+            self._buffer.append(row)
+        if self._pending_rows() >= self.options.stripe_rows:
             self._flush_stripe()
 
     def write_rows(self, rows: Iterable[Row]) -> None:
@@ -60,7 +74,14 @@ class DwrfWriter:
             self.write_row(row)
 
     def _flush_stripe(self) -> None:
-        pending = encode_stripe(self._buffer, self.schema, self.options)
+        if self._builder is not None:
+            row_count = self._builder.n_rows
+            pending = self._builder.build()
+            self._builder = StripeColumnarBuilder(self.schema, self.options)
+        else:
+            row_count = len(self._buffer)
+            pending = _encode_map_stripe(self._buffer, self.options)
+            self._buffer = []
         infos = []
         for stream in pending:
             offset = len(self._data)
@@ -74,14 +95,13 @@ class DwrfWriter:
                     checksum=zlib.crc32(stream.payload),
                 )
             )
-        self._stripes.append(StripeMeta(len(self._buffer), tuple(infos)))
-        self._buffer = []
+        self._stripes.append(StripeMeta(row_count, tuple(infos)))
 
     def close(self) -> DwrfFile:
         """Flush any partial stripe and return the finished file."""
         if self._closed:
             raise FormatError("writer already closed")
-        if self._buffer:
+        if self._pending_rows():
             self._flush_stripe()
         self._closed = True
         footer = FileFooter(

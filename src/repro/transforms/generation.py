@@ -42,19 +42,23 @@ class Cartesian(Transform):
     def apply(self, batch: FeatureBatch) -> Column:
         left = batch.sparse(self._left_id)
         right = batch.sparse(self._right_id)
-        lists = []
-        for i in range(len(left)):
-            a = left.row(i)
-            b = right.row(i)
-            if len(a) == 0 or len(b) == 0:
-                lists.append([])
-                continue
-            pairs = np.stack(
-                np.meshgrid(a, b, indexing="ij"), axis=-1
-            ).reshape(-1, 2)[: self.max_pairs]
-            mixed = splitmix64(pairs[:, 0] * np.int64(1_000_003) + pairs[:, 1])
-            lists.append([int(v) for v in (mixed >> np.uint64(1)).astype(np.int64)])
-        return SparseColumn.from_lists(lists)
+        left_lengths = left.lengths()
+        right_lengths = right.lengths()
+        counts = np.minimum(left_lengths * right_lengths, self.max_pairs)
+        offsets = np.zeros(len(left) + 1, dtype=np.int64)
+        np.cumsum(counts, out=offsets[1:])
+        total = int(offsets[-1])
+        if total == 0:
+            return SparseColumn(offsets, np.empty(0, dtype=np.int64))
+        # Pair k of a row maps to (a[k // |b|], b[k % |b|]) — the
+        # meshgrid walk order — computed flat across every row at once.
+        k = np.arange(total, dtype=np.int64) - np.repeat(offsets[:-1], counts)
+        right_size = np.repeat(right_lengths, counts)
+        a = left.values[np.repeat(left.offsets[:-1], counts) + k // right_size]
+        b = right.values[np.repeat(right.offsets[:-1], counts) + k % right_size]
+        with np.errstate(over="ignore"):
+            mixed = splitmix64(a * np.int64(1_000_003) + b)
+        return SparseColumn(offsets, (mixed >> np.uint64(1)).astype(np.int64))
 
 
 @register
@@ -83,18 +87,52 @@ class NGram(Transform):
 
     def apply(self, batch: FeatureBatch) -> Column:
         columns = [batch.sparse(fid) for fid in self._input_ids]
-        lists = []
-        for i in range(batch.n_rows):
-            sequence = np.concatenate([column.row(i) for column in columns])
-            if len(sequence) < self.n:
-                lists.append([])
-                continue
-            windows = np.lib.stride_tricks.sliding_window_view(sequence, self.n)
-            mixed = np.zeros(len(windows), dtype=np.uint64)
+        n_rows = batch.n_rows
+        sequence, seq_offsets = self._concatenate_rows(columns, n_rows)
+        seq_lengths = np.diff(seq_offsets)
+        windows = np.maximum(seq_lengths - (self.n - 1), 0)
+        offsets = np.zeros(n_rows + 1, dtype=np.int64)
+        np.cumsum(windows, out=offsets[1:])
+        total = int(offsets[-1])
+        if total == 0:
+            return SparseColumn(offsets, np.empty(0, dtype=np.int64))
+        # Window k of a row starts at its sequence offset + k; the
+        # n-gram hash folds the n positions iteratively, all rows flat.
+        base = np.repeat(seq_offsets[:-1], windows) + (
+            np.arange(total, dtype=np.int64) - np.repeat(offsets[:-1], windows)
+        )
+        mixed = np.zeros(total, dtype=np.uint64)
+        with np.errstate(over="ignore"):
             for j in range(self.n):
-                mixed = splitmix64(mixed.astype(np.int64) * np.int64(31) + windows[:, j])
-            lists.append([int(v) for v in (mixed >> np.uint64(1)).astype(np.int64)])
-        return SparseColumn.from_lists(lists)
+                mixed = splitmix64(
+                    mixed.astype(np.int64) * np.int64(31) + sequence[base + j]
+                )
+        return SparseColumn(offsets, (mixed >> np.uint64(1)).astype(np.int64))
+
+    @staticmethod
+    def _concatenate_rows(
+        columns: list[SparseColumn], n_rows: int
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Row-wise concatenation of several sparse columns, flat.
+
+        Returns ``(values, offsets)`` where each row's span holds its
+        IDs from every input column in column order.
+        """
+        if len(columns) == 1:
+            return columns[0].values, columns[0].offsets
+        lengths = np.stack([column.lengths() for column in columns])
+        seq_offsets = np.zeros(n_rows + 1, dtype=np.int64)
+        np.cumsum(lengths.sum(axis=0), out=seq_offsets[1:])
+        values = np.empty(int(seq_offsets[-1]), dtype=np.int64)
+        prior = np.zeros(n_rows, dtype=np.int64)
+        for column, column_lengths in zip(columns, lengths):
+            reps = column_lengths
+            within = np.arange(len(column.values), dtype=np.int64) - np.repeat(
+                column.offsets[:-1], reps
+            )
+            values[np.repeat(seq_offsets[:-1] + prior, reps) + within] = column.values
+            prior += column_lengths
+        return values, seq_offsets
 
 
 @register

@@ -128,11 +128,9 @@ class SampleGenerator:
                 p = 1.0 / max(mean_len, 1.0)
                 length = int(rng.geometric(p))
                 ids = rng.integers(0, self.profile.id_vocab_size, size=length)
-                row.sparse[spec.feature_id] = [int(x) for x in ids]
+                row.sparse[spec.feature_id] = ids.tolist()
                 if spec.ftype is FeatureType.SCORED_SPARSE:
-                    row.scores[spec.feature_id] = [
-                        float(w) for w in rng.random(size=length)
-                    ]
+                    row.scores[spec.feature_id] = rng.random(size=length).tolist()
         return row
 
     def generate_rows(self, schema: TableSchema, n: int) -> list[Row]:
@@ -143,7 +141,7 @@ class SampleGenerator:
         what makes MB-scale ablation datasets affordable.
         """
         rng = self._rng
-        rows = [Row(label=float(label)) for label in rng.integers(0, 2, size=n)]
+        rows = [Row(label=label) for label in rng.integers(0, 2, size=n).astype(float).tolist()]
         for spec in schema.logged_features():
             coverage = self._coverages.get(spec.feature_id, spec.coverage)
             present = np.flatnonzero(rng.random(n) < coverage)
@@ -151,23 +149,40 @@ class SampleGenerator:
                 continue
             fid = spec.feature_id
             if spec.ftype is FeatureType.DENSE:
-                values = rng.normal(size=present.size)
-                for index, value in zip(present, values):
-                    rows[index].dense[fid] = float(value)
+                values = rng.normal(size=present.size).tolist()
+                for index, value in zip(present.tolist(), values):
+                    rows[index].dense[fid] = value
             else:
                 mean_len = self._lengths.get(fid, spec.avg_sparse_length or 1.0)
                 lengths = rng.geometric(1.0 / max(mean_len, 1.0), size=present.size)
                 total = int(lengths.sum())
                 flat = rng.integers(0, self.profile.id_vocab_size, size=total)
-                offsets = np.concatenate([[0], np.cumsum(lengths)])
+                offsets = np.concatenate([[0], np.cumsum(lengths)]).tolist()
                 scored = spec.ftype is FeatureType.SCORED_SPARSE
                 weights = rng.random(size=total) if scored else None
-                for j, index in enumerate(present):
+                flat_list = flat.tolist()
+                weight_list = None if weights is None else weights.tolist()
+                for j, index in enumerate(present.tolist()):
                     lo, hi = offsets[j], offsets[j + 1]
-                    rows[index].sparse[fid] = flat[lo:hi].tolist()
+                    rows[index].sparse[fid] = flat_list[lo:hi]
                     if scored:
-                        rows[index].scores[fid] = weights[lo:hi].astype(float).tolist()
+                        rows[index].scores[fid] = weight_list[lo:hi]
         return rows
+
+    def iter_rows(self, schema: TableSchema, n: int, chunk: int = 256):
+        """Stream *n* samples, drawing them in vectorized chunks.
+
+        Streaming consumers (the serving simulator, long-running data
+        generators) get batch-generation speed while still consuming
+        one row at a time.
+        """
+        if chunk <= 0:
+            raise ConfigError("chunk must be positive")
+        remaining = n
+        while remaining > 0:
+            block = min(chunk, remaining)
+            yield from self.generate_rows(schema, block)
+            remaining -= block
 
     def populate_table(
         self, table: Table, partition_names: list[str], rows_per_partition: int

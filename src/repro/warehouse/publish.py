@@ -9,7 +9,7 @@ filesystem.  The returned footer map is the metadata training sessions
 from __future__ import annotations
 
 from ..dwrf.layout import EncodingOptions, FileFooter
-from ..dwrf.writer import DwrfWriter
+from ..dwrf.writer import DwrfFile, DwrfWriter
 from ..tectonic.filesystem import TectonicFilesystem
 from .table import Table
 
@@ -17,6 +17,42 @@ from .table import Table
 def partition_file_name(table_name: str, partition_name: str) -> str:
     """Canonical Tectonic path for one table partition."""
     return f"warehouse/{table_name}/{partition_name}.dwrf"
+
+
+def encode_table(
+    table: Table,
+    options: EncodingOptions | None = None,
+    partitions: list[str] | None = None,
+) -> dict[str, DwrfFile]:
+    """Encode partitions of *table* to in-memory DWRF files.
+
+    Encoding is deterministic in (rows, options), so callers running
+    the same table under the same options many times (the ablation
+    harness) can cache the result and store it repeatedly.
+    """
+    names = partitions if partitions is not None else table.partition_names()
+    files: dict[str, DwrfFile] = {}
+    for name in names:
+        writer = DwrfWriter(table.schema, options)
+        writer.write_rows(table.partition(name).rows)
+        files[name] = writer.close()
+    return files
+
+
+def store_files(
+    filesystem: TectonicFilesystem,
+    table_name: str,
+    files: dict[str, DwrfFile],
+) -> dict[str, FileFooter]:
+    """Write pre-encoded DWRF files into Tectonic and seal them."""
+    footers: dict[str, FileFooter] = {}
+    for name, dwrf_file in files.items():
+        path = partition_file_name(table_name, name)
+        filesystem.create(path)
+        filesystem.append(path, dwrf_file.data)
+        filesystem.seal(path)
+        footers[name] = dwrf_file.footer
+    return footers
 
 
 def publish_table(
@@ -30,15 +66,6 @@ def publish_table(
     Returns partition name → footer.  Files are sealed after writing
     (the filesystem is append-only).
     """
-    names = partitions if partitions is not None else table.partition_names()
-    footers: dict[str, FileFooter] = {}
-    for name in names:
-        writer = DwrfWriter(table.schema, options)
-        writer.write_rows(table.partition(name).rows)
-        dwrf_file = writer.close()
-        path = partition_file_name(table.name, name)
-        filesystem.create(path)
-        filesystem.append(path, dwrf_file.data)
-        filesystem.seal(path)
-        footers[name] = dwrf_file.footer
-    return footers
+    return store_files(
+        filesystem, table.name, encode_table(table, options, partitions)
+    )

@@ -1,0 +1,28 @@
+"""Session-scoped ablation fixtures.
+
+Running the full Table-12 stage sequence is the most expensive fixture
+in the tier-1 suite; hoisting it here guarantees it is built exactly
+once per test session no matter how many modules or classes consume it.
+"""
+
+import pytest
+
+from repro.analysis import run_stage, stages
+from repro.analysis.ablation import projection_byte_fraction
+from repro.workloads import RM1, build_mini_dataset
+
+
+@pytest.fixture(scope="session")
+def ablation_dataset():
+    return build_mini_dataset(RM1, ["p0"], 1200, seed=11)
+
+
+@pytest.fixture(scope="session")
+def ablation_results(ablation_dataset):
+    fraction = projection_byte_fraction(ablation_dataset)
+    return {
+        stage.name: run_stage(
+            ablation_dataset, stage, map_useful_fraction=fraction, n_workers=1
+        )
+        for stage in stages(base_stripe_rows=400, large_stripe_rows=1200)
+    }

@@ -2,29 +2,24 @@
 
 The full-scale run lives in benchmarks/test_table12_optimizations.py;
 here we run a reduced dataset and assert orderings rather than ratios.
+The expensive stage sweep is the session-scoped ``ablation_results``
+fixture in ``conftest.py`` so every class (and any future module)
+shares one run.
 """
 
 import pytest
 
-from repro.analysis import popularity_feature_order, run_stage, stages
-from repro.analysis.ablation import projection_byte_fraction
-from repro.workloads import RM1, build_mini_dataset
+from repro.analysis import popularity_feature_order, stages
 
 
-@pytest.fixture(scope="module")
-def dataset():
-    return build_mini_dataset(RM1, ["p0"], 1200, seed=11)
+@pytest.fixture
+def dataset(ablation_dataset):
+    return ablation_dataset
 
 
-@pytest.fixture(scope="module")
-def results(dataset):
-    fraction = projection_byte_fraction(dataset)
-    return {
-        stage.name: run_stage(
-            dataset, stage, map_useful_fraction=fraction, n_workers=1
-        )
-        for stage in stages(base_stripe_rows=400, large_stripe_rows=1200)
-    }
+@pytest.fixture
+def results(ablation_results):
+    return ablation_results
 
 
 class TestStageSequence:

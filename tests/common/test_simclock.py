@@ -225,6 +225,78 @@ class TestFifoTieBreaking:
         assert fired == ["a", "d"]
 
 
+class TestPeriodicHandle:
+    def test_every_returns_cancellable_handle(self):
+        clock = SimClock()
+        ticks = []
+        handle = clock.every(1.0, lambda: ticks.append(clock.now))
+        clock.schedule(3.5, handle.cancel)
+        clock.run()
+        assert ticks == [1.0, 2.0, 3.0]
+        assert clock.pending == 0
+
+    def test_cancel_before_first_tick(self):
+        clock = SimClock()
+        ticks = []
+        handle = clock.every(5.0, lambda: ticks.append(clock.now))
+        handle.cancel()
+        assert clock.run() == 0
+        assert ticks == []
+
+    def test_cancel_from_within_callback_stops_recurrence(self):
+        clock = SimClock()
+        ticks = []
+        handle = clock.every(1.0, lambda: (ticks.append(clock.now), handle.cancel()))
+        clock.run()
+        assert ticks == [1.0]
+        assert clock.pending == 0
+
+    def test_handle_active_reflects_pending_occurrence(self):
+        clock = SimClock()
+        handle = clock.every(1.0, lambda: None, until=2.0)
+        assert handle.active
+        clock.run()
+        assert not handle.active
+
+    def test_cancel_is_idempotent(self):
+        clock = SimClock()
+        handle = clock.every(1.0, lambda: None)
+        handle.cancel()
+        handle.cancel()
+        assert clock.pending == 0
+
+
+class TestPendingCounter:
+    def test_pending_counts_without_heap_scan(self):
+        clock = SimClock()
+        handles = [clock.schedule(float(i + 1), lambda: None) for i in range(100)]
+        assert clock.pending == 100
+        for handle in handles[::2]:
+            handle.cancel()
+        assert clock.pending == 50
+        clock.run()
+        assert clock.pending == 0
+
+    def test_pending_tracks_fires_and_reschedules(self):
+        clock = SimClock()
+        clock.schedule(1.0, lambda: clock.schedule(1.0, lambda: None))
+        assert clock.pending == 1
+        clock.step()
+        assert clock.pending == 1
+        clock.step()
+        assert clock.pending == 0
+
+    def test_double_cancel_does_not_undercount(self):
+        clock = SimClock()
+        keep = clock.schedule(2.0, lambda: None)
+        victim = clock.schedule(1.0, lambda: None)
+        victim.cancel()
+        victim.cancel()
+        assert clock.pending == 1
+        keep.cancel()
+        assert clock.pending == 0
+
+
 class TestStep:
     def test_step_returns_false_when_empty(self):
         assert SimClock().step() is False

@@ -69,14 +69,38 @@ class TestBulkInts:
         out = encoding.decode_ints(encoding.encode_ints(values))
         assert out.tolist() == values
 
+    def test_wide_decode_is_zero_copy_and_write_protected(self):
+        # Width-8 payloads decode without copying: the result is a
+        # read-only int64 view over the stream bytes, so a caller
+        # cannot silently corrupt the (shared) buffer — writes raise.
+        data = encoding.encode_ints([2**40, -(2**40)])
+        out = encoding.decode_ints(data)
+        assert out.dtype == np.int64
+        assert out.tolist() == [2**40, -(2**40)]
+        assert not out.flags.writeable
+        with pytest.raises(ValueError):
+            out[0] = 1
+        # Callers that need mutation take an explicit, writable copy.
+        mutable = out.copy()
+        mutable[0] = 7
+        assert mutable.tolist() == [7, -(2**40)]
+        assert out.tolist() == [2**40, -(2**40)]
+
+    def test_narrow_decode_still_widens_to_int64(self):
+        out = encoding.decode_ints(encoding.encode_ints([1, 2, 3]))
+        assert out.dtype == np.int64
+
 
 class TestFloats:
     def test_round_trip_float32_exact(self):
         values = [0.0, 1.5, -2.25, 1024.0]
-        assert encoding.unpack_floats(encoding.pack_floats(values)) == values
+        out = encoding.unpack_floats(encoding.pack_floats(values))
+        assert isinstance(out, np.ndarray)
+        assert out.dtype == np.dtype("<f4")
+        assert out.tolist() == values
 
     def test_precision_is_float32(self):
-        [value] = encoding.unpack_floats(encoding.pack_floats([1/3]))
+        [value] = encoding.unpack_floats(encoding.pack_floats([1/3])).tolist()
         assert value == pytest.approx(1/3, rel=1e-6)
         assert value != 1/3  # float64 third does not survive
 
@@ -89,12 +113,15 @@ class TestBitmaps:
     def test_round_trip(self):
         bits = [True, False, True, True, False, False, True, False, True]
         packed = encoding.pack_bitmap(bits)
-        assert encoding.unpack_bitmap(packed, len(bits)) == bits
+        out = encoding.unpack_bitmap(packed, len(bits))
+        assert isinstance(out, np.ndarray)
+        assert out.dtype == np.bool_
+        assert out.tolist() == bits
 
     def test_partial_byte(self):
         packed = encoding.pack_bitmap([True, False, True])
         assert len(packed) == 1
-        assert encoding.unpack_bitmap(packed, 3) == [True, False, True]
+        assert encoding.unpack_bitmap(packed, 3).tolist() == [True, False, True]
 
     def test_count_beyond_data_rejected(self):
         with pytest.raises(FormatError):
@@ -103,7 +130,7 @@ class TestBitmaps:
     @given(st.lists(st.booleans(), min_size=1, max_size=200))
     def test_round_trip_property(self, bits):
         packed = encoding.pack_bitmap(bits)
-        assert encoding.unpack_bitmap(packed, len(bits)) == bits
+        assert encoding.unpack_bitmap(packed, len(bits)).tolist() == bits
 
 
 class TestSeal:
@@ -133,3 +160,10 @@ class TestSeal:
     @given(st.binary(max_size=500))
     def test_seal_round_trip_property(self, payload):
         assert encoding.unseal(encoding.seal(payload)) == payload
+
+    def test_vectorized_cipher_matches_per_byte_reference(self):
+        data = bytes(range(256)) * 3 + b"tail"
+        key = encoding._XOR_KEY
+        reference = bytes(b ^ key[i % len(key)] for i, b in enumerate(data))
+        assert encoding._xor_cipher(data) == reference
+        assert encoding._xor_cipher(b"") == b""
