@@ -1,0 +1,72 @@
+"""Chaos-run reports: what was injected, what was delivered, what broke."""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+
+from .invariants import Violation
+
+
+@dataclass(frozen=True)
+class DeliveryRecord:
+    """One tensor batch observed arriving at a client."""
+
+    round_index: int
+    client_id: str
+    split_id: int
+    sequence: int
+    n_rows: int
+
+
+@dataclass
+class ChaosReport:
+    """Outcome of one chaos scenario run."""
+
+    scenario: str
+    rounds: int
+    allow_replays: bool
+    faults_injected: list[str] = field(default_factory=list)
+    records: list[DeliveryRecord] = field(default_factory=list)
+    violations: list[Violation] = field(default_factory=list)
+    expected_batches: int = 0
+
+    @property
+    def ok(self) -> bool:
+        """Whether every delivery invariant held."""
+        return not self.violations
+
+    @property
+    def delivered_batches(self) -> int:
+        """Batches that reached clients, replays included."""
+        return len(self.records)
+
+    @property
+    def replayed_batches(self) -> int:
+        """Deliveries beyond the first per batch identity."""
+        counts = Counter((r.split_id, r.sequence) for r in self.records)
+        return sum(count - 1 for count in counts.values())
+
+    @property
+    def rows_delivered(self) -> int:
+        """Total rows across all deliveries."""
+        return sum(r.n_rows for r in self.records)
+
+    def describe(self) -> str:
+        """Multi-line human-readable summary."""
+        mode = "at-least-once" if self.allow_replays else "exactly-once"
+        lines = [
+            f"chaos scenario {self.scenario!r}: "
+            f"{'PASS' if self.ok else 'FAIL'} ({mode})",
+            f"  rounds={self.rounds} "
+            f"expected={self.expected_batches} "
+            f"delivered={self.delivered_batches} "
+            f"replayed={self.replayed_batches}",
+        ]
+        if self.faults_injected:
+            lines.append("  faults:")
+            lines.extend(f"    {fault}" for fault in self.faults_injected)
+        if self.violations:
+            lines.append("  violations:")
+            lines.extend(f"    {violation}" for violation in self.violations)
+        return "\n".join(lines)

@@ -1,0 +1,281 @@
+"""Scenario runners: drive sessions through fault schedules.
+
+:class:`ChaosRunner` is an instrumented version of
+:meth:`~repro.dpp.service.DppSession.pump`: same fair round-robin
+scheduler, but between rounds it injects the schedule's due faults and
+it records every delivered batch's provenance.  After the run it
+evaluates the delivery invariants (:mod:`repro.chaos.invariants`) and
+returns a :class:`~repro.chaos.report.ChaosReport`.
+
+:func:`schedule_fleet_faults` is the fleet-scale counterpart: it pins
+fault events to virtual time on a :class:`~repro.fleet.simulator.FleetSimulator`'s
+clock — worker churn inside tenant jobs, region-wide Tectonic
+degradation — using the simulator's public fault-injection hooks.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import TYPE_CHECKING
+
+from ..common.errors import ConfigError, DppError
+from ..dpp.service import DppSession
+from .faults import FaultEvent, FaultKind, FaultSchedule
+from .invariants import (
+    check_checkpoint_agreement,
+    check_delivery,
+    check_no_stranded,
+    check_split_set_determinism,
+    expected_deliveries,
+)
+from .report import ChaosReport, DeliveryRecord
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..fleet.simulator import FleetSimulator
+
+
+class ChaosRunner:
+    """Runs one DPP session to completion under a fault schedule."""
+
+    def __init__(
+        self,
+        session: DppSession,
+        schedule: FaultSchedule,
+        scenario: str = "chaos",
+        allow_replays: bool | None = None,
+        seed: int = 0,
+        max_rounds: int = 100_000,
+        client_batches_per_round: int | None = None,
+    ) -> None:
+        """*allow_replays* defaults to whatever the schedule implies:
+        crash and restart faults legitimately replay batches
+        (at-least-once); drain/failover/scale schedules must stay
+        exactly-once.  *seed* only randomizes victim selection.
+
+        *client_batches_per_round* throttles consumption (slow
+        trainers): buffers stay backlogged across rounds, so crashes
+        land on workers holding completed-but-unserved batches — the
+        stranding scenario the provenance requeue exists for.
+        Unthrottled clients drain everything each round and crashes
+        mostly hit empty buffers.
+        """
+        if client_batches_per_round is not None and client_batches_per_round < 1:
+            raise DppError("client_batches_per_round must be positive")
+        self.session = session
+        self.schedule = schedule
+        self.scenario = scenario
+        self.allow_replays = (
+            schedule.allows_replays() if allow_replays is None else allow_replays
+        )
+        self.max_rounds = max_rounds
+        self.client_batches_per_round = client_batches_per_round
+        self._rng = random.Random(seed)
+        self._nominal_rate: float | None = None
+
+    # -- fault application ----------------------------------------------------
+
+    def _survivors(self) -> list:
+        """Live workers with no crash pending — armed workers are dead
+        workers walking and must not count toward the keep-one-alive
+        guard, or an armed crash firing after a direct kill could
+        leave the session with zero live workers."""
+        return [w for w in self.session.live_workers if not w.crash_armed]
+
+    def _apply(self, event: FaultEvent, report: ChaosReport) -> None:
+        session = self.session
+        kind = event.kind
+        note = event.describe()
+        if kind is FaultKind.WORKER_CRASH:
+            victims = self._survivors()
+            if len(victims) > 1:
+                self._rng.choice(victims).fail()
+            else:
+                note += " [skipped: last live worker]"
+        elif kind is FaultKind.WORKER_CRASH_MID_SPLIT:
+            victims = self._survivors()
+            if len(victims) > 1:
+                self._rng.choice(victims).inject_crash(
+                    after_batches=max(1, int(event.magnitude))
+                )
+            else:
+                note += " [skipped: last live worker]"
+        elif kind is FaultKind.WORKER_DRAIN:
+            count = min(int(event.magnitude), len(self._survivors()) - 1)
+            if count > 0:
+                session.scale(-count)
+            else:
+                note += " [skipped: last live worker]"
+        elif kind is FaultKind.SCALE_UP:
+            session.scale(+max(1, int(event.magnitude)))
+        elif kind is FaultKind.MASTER_FAILOVER:
+            session.master.fail_over()
+        elif kind is FaultKind.MASTER_RESTART:
+            self._restart_master(report)
+        elif kind is FaultKind.DEGRADE_STORAGE:
+            note = self._set_storage_rate(event.magnitude, note)
+        elif kind is FaultKind.RESTORE_STORAGE:
+            note = self._set_storage_rate(1.0, note)
+        else:  # pragma: no cover - exhaustive over FaultKind
+            raise DppError(f"unhandled fault kind {kind}")
+        report.faults_injected.append(note)
+
+    def _restart_master(self, report: ChaosReport) -> None:
+        """Simulate a master-process restart and verify recovery
+        determinism: the rebuilt master must replan the identical split
+        set and agree byte-for-byte with the checkpoint it restored."""
+        session = self.session
+        before = session.master.primary
+        checkpoint = session.master.checkpoint()
+        session.restart_master()
+        report.violations.extend(
+            check_split_set_determinism(before, session.master.primary)
+        )
+        report.violations.extend(
+            check_checkpoint_agreement(session.master.primary, checkpoint)
+        )
+
+    def _set_storage_rate(self, fraction: float, note: str) -> str:
+        filesystem = self.session.filesystem
+        set_rate = getattr(filesystem, "set_rate", None)
+        if set_rate is None:
+            return note + " [skipped: filesystem is not rate-limited]"
+        if self._nominal_rate is None:
+            self._nominal_rate = filesystem.rate_bytes_per_s
+        set_rate(self._nominal_rate * fraction)
+        return note
+
+    # -- the instrumented pump -------------------------------------------------
+
+    def run(self) -> ChaosReport:
+        """Drive the session to completion, injecting and checking."""
+        session = self.session
+        expected = expected_deliveries(session)
+        report = ChaosReport(
+            scenario=self.scenario,
+            rounds=0,
+            allow_replays=self.allow_replays,
+            expected_batches=len(expected),
+        )
+        records = report.records
+        endgame = False
+        for round_index in range(self.max_rounds):
+            for event in self.schedule.due(round_index):
+                self._apply(event, report)
+            if session.master.done and not any(
+                worker.buffer for worker in session.serving_workers
+            ):
+                report.rounds = round_index
+                break
+            if not session.master.done:
+                # A crash can reopen stranded splits (done regresses)
+                # and a scale-up can outgrow the widened fan-out; re-arm
+                # the endgame so the next completion re-widens.
+                endgame = False
+            elif not endgame:
+                endgame = True
+                for client in session.clients:
+                    client.max_connections = max(
+                        client.max_connections, len(session.serving_workers)
+                    )
+                    client.refresh_partition()
+            if not session.master.done and not session.live_workers:
+                raise DppError("chaos run stalled: no live workers")
+            progressed = False
+            for worker in list(session.live_workers):
+                if not session.master.done and worker.wants_work:
+                    progressed |= worker.process_one_split()
+            quota = self.client_batches_per_round
+            for client in session.clients:
+                pulled = 0
+                while quota is None or pulled < quota:
+                    batch = client.get_batch()
+                    if batch is None:
+                        break
+                    pulled += 1
+                    if batch.split_id is None:
+                        raise DppError("delivered batch lacks split provenance")
+                    records.append(
+                        DeliveryRecord(
+                            round_index=round_index,
+                            client_id=client.client_id,
+                            split_id=batch.split_id,
+                            sequence=batch.sequence,
+                            n_rows=batch.n_rows,
+                        )
+                    )
+            session.retire_drained_workers()
+        else:
+            raise DppError("chaos run exceeded max_rounds")
+        if self._nominal_rate is not None:
+            # A degrade whose paired restore landed after completion
+            # must not leak into the filesystem's next user.
+            session.filesystem.set_rate(self._nominal_rate)
+        report.violations.extend(
+            check_delivery(expected, records, self.allow_replays)
+        )
+        report.violations.extend(check_no_stranded(session))
+        return report
+
+
+def run_scenario(
+    session: DppSession,
+    schedule: FaultSchedule,
+    scenario: str = "chaos",
+    **kwargs,
+) -> ChaosReport:
+    """One-call convenience: build a runner and run it."""
+    return ChaosRunner(session, schedule, scenario=scenario, **kwargs).run()
+
+
+# -- fleet-scale chaos ---------------------------------------------------------
+
+
+def schedule_fleet_faults(
+    simulator: "FleetSimulator", faults: list[FaultEvent], job_ids: list[int]
+) -> list[str]:
+    """Pin fault events to a fleet simulator's virtual clock.
+
+    ``round_index`` is reinterpreted as *seconds* of virtual time from
+    now.  Worker crashes hit the job drawn round-robin from *job_ids*;
+    storage events hit the shared fabric.  Returns a log list that
+    fills in as events fire — inspect it after ``run()``.
+
+    Only fleet-meaningful kinds are accepted: per-session faults
+    (drains, failovers, restarts) belong to :class:`ChaosRunner`.
+    """
+    supported = {
+        FaultKind.WORKER_CRASH,
+        FaultKind.DEGRADE_STORAGE,
+        FaultKind.RESTORE_STORAGE,
+    }
+    unsupported = [f.kind for f in faults if f.kind not in supported]
+    if unsupported:
+        raise ConfigError(
+            f"fleet chaos supports {sorted(k.value for k in supported)}; "
+            f"got {sorted({k.value for k in unsupported})}"
+        )
+    if not job_ids:
+        raise ConfigError("fleet chaos needs at least one target job id")
+    log: list[str] = []
+
+    def fire(fault: FaultEvent, target_job: int) -> None:
+        stamp = f"t={simulator.clock.now:.0f}s"
+        if fault.kind is FaultKind.WORKER_CRASH:
+            died = simulator.inject_worker_crash(
+                target_job, max(1, int(fault.magnitude))
+            )
+            log.append(f"{stamp} crash {died} worker(s) of job {target_job}")
+        elif fault.kind is FaultKind.DEGRADE_STORAGE:
+            simulator.degrade_storage(fault.magnitude)
+            log.append(f"{stamp} degrade storage to {fault.magnitude:.0%}")
+        else:
+            simulator.degrade_storage(1.0)
+            log.append(f"{stamp} restore storage")
+
+    for index, fault in enumerate(faults):
+        target = job_ids[index % len(job_ids)]
+        simulator.clock.schedule_at(
+            simulator.clock.now + fault.round_index,
+            lambda f=fault, j=target: fire(f, j),
+        )
+    return log

@@ -12,6 +12,7 @@ from .errors import (
     TransformError,
     WorkerFailure,
 )
+from .hashing import fnv1a_64, stable_fraction, stable_hash
 from .resources import HostModel, ResourceSpec, ResourceUsage, UtilizationReport
 from .simclock import EventHandle, SimClock
 from .stats import (
@@ -43,9 +44,12 @@ __all__ = [
     "TransformError",
     "UtilizationReport",
     "WorkerFailure",
+    "fnv1a_64",
     "fraction_of_items_for_traffic",
     "gini",
     "popularity_cdf",
+    "stable_fraction",
+    "stable_hash",
     "summarize",
     "zipf_weights",
 ]

@@ -1,0 +1,87 @@
+"""Process-stable identity hashing.
+
+Python's builtin ``hash()`` is salted per interpreter (PYTHONHASHSEED),
+so any identity derived from it — sampled split sets, request-ID
+ranges — silently changes across process restarts and replicas.  That
+breaks the paper's recovery story: a restored master must agree
+byte-for-byte with the checkpoint source (Section 3.2.1), and serving
+request IDs must join deterministically across reruns.
+
+:func:`stable_hash` is a 64-bit FNV-1a over a type-tagged encoding of
+its arguments: the same inputs produce the same value in every process,
+on every platform, under every hash seed.  Use it for *identity* —
+sampling, sharding, ID derivation — never for security.
+"""
+
+from __future__ import annotations
+
+import struct
+
+_FNV64_OFFSET = 0xCBF29CE484222325
+_FNV64_PRIME = 0x100000001B3
+_MASK64 = 0xFFFFFFFFFFFFFFFF
+
+
+def fnv1a_64(data: bytes, h: int = _FNV64_OFFSET) -> int:
+    """64-bit FNV-1a of *data*, optionally chained from a prior state."""
+    for byte in data:
+        h = ((h ^ byte) * _FNV64_PRIME) & _MASK64
+    return h
+
+
+def _encode(part) -> bytes:
+    """Type-tagged canonical bytes for one hashable part.
+
+    Tags keep distinct types distinct (``1`` vs ``"1"`` vs ``1.0``) and
+    nested tuples unambiguous (length-prefixed).
+    """
+    if isinstance(part, bytes):
+        return b"b" + len(part).to_bytes(4, "big") + part
+    if isinstance(part, str):
+        raw = part.encode("utf-8")
+        return b"s" + len(raw).to_bytes(4, "big") + raw
+    if isinstance(part, bool):  # before int: bool subclasses int
+        return b"t" if part else b"f"
+    if isinstance(part, int):
+        raw = part.to_bytes((part.bit_length() + 8) // 8 + 1, "big", signed=True)
+        return b"i" + len(raw).to_bytes(4, "big") + raw
+    if isinstance(part, float):
+        return b"d" + struct.pack(">d", part)
+    if part is None:
+        return b"n"
+    if isinstance(part, (tuple, list)):
+        body = b"".join(_encode(item) for item in part)
+        return b"(" + len(part).to_bytes(4, "big") + body
+    raise TypeError(f"stable_hash cannot encode {type(part).__name__}")
+
+
+def _avalanche(h: int) -> int:
+    """murmur3's 64-bit finalizer: FNV alone leaves the high bits of
+    near-identical short inputs correlated, which would bias sampling
+    decisions; this mixes every input bit into every output bit."""
+    h ^= h >> 33
+    h = (h * 0xFF51AFD7ED558CCD) & _MASK64
+    h ^= h >> 33
+    h = (h * 0xC4CEB9FE1A85EC53) & _MASK64
+    h ^= h >> 33
+    return h
+
+
+def stable_hash(*parts) -> int:
+    """Process-stable 64-bit hash of str/bytes/int/float/bool/None/tuples.
+
+    Multiple arguments hash as the equivalent tuple:
+    ``stable_hash(a, b) == stable_hash((a, b))``.
+    """
+    part = parts[0] if len(parts) == 1 else parts
+    return _avalanche(fnv1a_64(_encode(part)))
+
+
+def stable_fraction(*parts) -> float:
+    """Map identity onto [0, 1) uniformly and process-stably.
+
+    Uses the top 53 bits so every distinct double in [0, 1) is
+    reachable; the natural primitive for sampling decisions
+    (``stable_fraction(key) < rate``).
+    """
+    return (stable_hash(*parts) >> 11) / float(1 << 53)

@@ -11,6 +11,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..common.hashing import stable_hash
 from ..warehouse.generator import SampleGenerator
 from ..warehouse.schema import TableSchema
 from .events import EventLog, FeatureLog
@@ -47,8 +48,11 @@ class ServingSimulator:
         # Request IDs must be globally unique across serving hosts or
         # the downstream join silently mismatches; derive a disjoint
         # range from the daemon's host name unless given explicitly.
+        # The hash must be process-stable: a salted builtin hash()
+        # would give every rerun a different ID range and break
+        # serving-trace reproducibility.
         if request_id_base is None:
-            request_id_base = (hash(daemon.host) & 0xFFFF) << 32
+            request_id_base = (stable_hash(daemon.host) & 0xFFFF) << 32
         self._next_request_id = request_id_base
 
     def serve_one(self, timestamp: float) -> int:

@@ -12,6 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from ..common.errors import DppError
+from ..common.hashing import stable_fraction
 from ..dwrf.layout import FileFooter
 from .spec import SessionSpec
 from .split import Split, SplitState, plan_splits
@@ -35,15 +36,17 @@ class _SplitRecord:
 def _sample_splits(splits: list[Split], rate: float) -> list[Split]:
     """Deterministic split-level row sampling (pushdown).
 
-    Splits are kept by a hash of their identity, so the sample is
-    stable across master restarts and replicas — a requirement for
+    Splits are kept by a *process-stable* hash of their identity
+    (:func:`~repro.common.hashing.stable_fraction` — never the salted
+    builtin ``hash()``), so the sample is identical across master
+    restarts, replicas, and PYTHONHASHSEED values — a requirement for
     exactly-once epoch semantics under failover.  At least one split
     always survives.
     """
     kept = [
         split
         for split in splits
-        if (hash((split.file_name, split.stripe_start)) & 0xFFFF) / 0x10000 < rate
+        if stable_fraction(split.file_name, split.stripe_start) < rate
     ]
     return kept or splits[:1]
 
@@ -73,8 +76,17 @@ class DppMaster:
         """Admit a worker into the session."""
         self._registered_workers.add(worker_id)
 
-    def worker_failed(self, worker_id: str) -> list[int]:
+    def worker_failed(
+        self, worker_id: str, stranded_split_ids: tuple[int, ...] | list[int] = ()
+    ) -> list[int]:
         """Handle a worker death: requeue its in-flight splits.
+
+        *stranded_split_ids* names splits whose tensor batches were
+        still sitting in the dead worker's buffer — produced but never
+        served to a client.  A split in that list that already reached
+        COMPLETED is reopened (back to PENDING) so its data is
+        re-extracted rather than silently lost; delivery degrades to
+        at-least-once for any of its batches a client did receive.
 
         Returns the requeued split IDs.  Because workers are stateless,
         recovery is exactly this requeue — no checkpoint restore.
@@ -86,6 +98,12 @@ class DppMaster:
                 record.state = SplitState.PENDING
                 record.assigned_to = None
                 requeued.append(record.split.split_id)
+        for split_id in stranded_split_ids:
+            record = self._record(split_id)
+            if record.state is SplitState.COMPLETED:
+                record.state = SplitState.PENDING
+                record.assigned_to = None
+                requeued.append(split_id)
         return requeued
 
     @property
@@ -123,6 +141,18 @@ class DppMaster:
             raise DppError(f"unknown split {split_id}") from None
 
     # -- progress ---------------------------------------------------------------
+
+    @property
+    def splits(self) -> list[Split]:
+        """The session's (possibly sampled) splits, in dataset order."""
+        return [record.split for record in self._records.values()]
+
+    @property
+    def split_ids(self) -> frozenset[int]:
+        """Identity of the sampled split set — the recovery invariant:
+        any master built from the same spec and files must produce
+        exactly this set, or checkpoints would dangle."""
+        return frozenset(self._records)
 
     @property
     def total_splits(self) -> int:
@@ -219,10 +249,34 @@ class ReplicatedMaster:
         self.primary.complete_split(worker_id, split_id)
         self._standby_checkpoint = self.primary.checkpoint()
 
-    def worker_failed(self, worker_id: str) -> list[int]:
-        """Delegate to the primary and mirror membership."""
+    def worker_failed(
+        self, worker_id: str, stranded_split_ids: tuple[int, ...] | list[int] = ()
+    ) -> list[int]:
+        """Delegate to the primary, mirror membership, and replicate.
+
+        Reopening a stranded COMPLETED split mutates durable state, so
+        the standby checkpoint must be reshipped — otherwise a failover
+        would resurrect the split as completed while its batches died
+        with the worker.
+        """
         self._standby_workers.discard(worker_id)
-        return self.primary.worker_failed(worker_id)
+        requeued = self.primary.worker_failed(worker_id, stranded_split_ids)
+        self._standby_checkpoint = self.primary.checkpoint()
+        return requeued
+
+    def checkpoint(self) -> MasterCheckpoint:
+        """Snapshot the primary's durable state."""
+        return self.primary.checkpoint()
+
+    def restore(self, checkpoint: MasterCheckpoint) -> None:
+        """Restore the primary from *checkpoint* and re-ship the standby.
+
+        Used when simulating a full master-process restart: the caller
+        rebuilds the pair from the session spec, then replays the last
+        durable checkpoint into it.
+        """
+        self.primary.restore(checkpoint)
+        self._standby_checkpoint = self.primary.checkpoint()
 
     def fail_over(self) -> None:
         """Kill the primary and promote a fresh replica from shipped state.

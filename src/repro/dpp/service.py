@@ -116,36 +116,67 @@ class DppSession:
 
     @property
     def live_workers(self) -> list[DppWorker]:
-        """Workers currently alive."""
+        """Workers actively pulling splits (alive and not draining)."""
+        return [
+            worker
+            for worker in self.workers
+            if worker.alive and not worker.draining
+        ]
+
+    @property
+    def serving_workers(self) -> list[DppWorker]:
+        """Workers clients may still pull from — including drainers
+        serving out their buffers."""
         return [worker for worker in self.workers if worker.alive]
 
     def scale(self, delta: int) -> None:
-        """Launch (+) or drain (−) workers and refresh client routing."""
+        """Launch (+) or drain (−) workers and refresh client routing.
+
+        Draining is graceful: the worker stops pulling splits but keeps
+        serving until its buffer empties, at which point the pump
+        retires it — no buffered batch is ever stranded by scale-down.
+        """
         if delta > 0:
             for _ in range(delta):
                 self.workers.append(self._spawn_worker())
         elif delta < 0:
             for worker in self.live_workers[: -delta]:
-                # Draining is graceful: the worker stops pulling splits.
-                worker.alive = False
-                self.master.worker_failed(worker.worker_id)
+                worker.drain()
         for client in self.clients:
             client.refresh_partition()
         self.report.peak_workers = max(
             self.report.peak_workers, len(self.live_workers)
         )
 
+    def restart_master(self) -> None:
+        """Simulate a master-process restart: rebuild from the durable
+        checkpoint (Section 3.2.1's recovery path).
+
+        Because split sampling is process-stable, the rebuilt master
+        plans the *identical* split set, so every checkpointed split ID
+        resolves.  Workers re-register and re-bind; in-flight progress
+        past the checkpoint replays (at-least-once).
+        """
+        checkpoint = self.master.checkpoint()
+        replacement = ReplicatedMaster(self.master.primary.spec, self.footers)
+        replacement.restore(checkpoint)
+        for worker in self.serving_workers:
+            replacement.register_worker(worker.worker_id)
+        self.master = replacement
+        for worker in self.workers:
+            worker.master = replacement
+
     def run_autoscaler(self) -> int:
         """Collect telemetry, evaluate the controller, apply the delta."""
         telemetry = []
+        # Utilization proxies normalized against the busiest worker;
+        # the executable pump has no wall clock, so relative load
+        # stands in for absolute utilization.
+        peak_cycles = max(
+            (w.stats.usage.cpu_cycles for w in self.live_workers), default=1.0
+        ) or 1.0
         for worker in self.live_workers:
             usage = worker.stats.usage
-            # Utilization proxies normalized against the busiest worker;
-            # the executable pump has no wall clock, so relative load
-            # stands in for absolute utilization.
-            peak_cycles = max(
-                (w.stats.usage.cpu_cycles for w in self.live_workers), default=1.0
-            ) or 1.0
             telemetry.append(
                 WorkerTelemetry(
                     worker_id=worker.worker_id,
@@ -178,20 +209,26 @@ class DppSession:
         draining = False
         for _ in range(max_rounds):
             if self.master.done and not any(
-                worker.buffer for worker in self.live_workers
+                worker.buffer for worker in self.serving_workers
             ):
                 break
-            if self.master.done and not draining:
+            if not self.master.done:
+                # done can regress: a worker crash reopens splits whose
+                # batches died unserved.  Re-arm the endgame widening so
+                # the next completion re-evaluates the fan-out.
+                draining = False
+            elif not draining:
                 # Endgame drain: widen every client's fan-out so no
                 # worker's buffered tensors are stranded behind the
-                # steady-state connection cap.
+                # steady-state connection cap.  Drainers still serving
+                # out count — their buffers are part of the session.
                 draining = True
                 for client in self.clients:
                     client.max_connections = max(
-                        client.max_connections, len(self.live_workers)
+                        client.max_connections, len(self.serving_workers)
                     )
                     client.refresh_partition()
-            if not self.live_workers:
+            if not self.master.done and not self.live_workers:
                 raise DppError("session stalled: no live workers")
             if self.clock is not None and self.round_time_s > 0:
                 self.clock.run_until(self.clock.now + self.round_time_s)
@@ -205,12 +242,24 @@ class DppSession:
                     if batch is None:
                         break
                     delivered.append(batch)
+            self.retire_drained_workers()
             if not progressed and self.master.done:
                 continue
         else:
             raise DppError("pump exceeded max_rounds")
         self._finalize_report(delivered)
         return self.report
+
+    def retire_drained_workers(self) -> None:
+        """Retire drainers whose buffers clients have fully emptied."""
+        retired = False
+        for worker in self.workers:
+            if worker.alive and worker.draining and not worker.buffer:
+                worker.retire()
+                retired = True
+        if retired and self.serving_workers:
+            for client in self.clients:
+                client.refresh_partition()
 
     def _finalize_report(self, delivered: list[TensorBatch]) -> None:
         self.report.rows_processed = sum(

@@ -199,6 +199,19 @@ class TimedDppSimulation:
                     f"t={self.clock.now:.0f}s drain {drain}: {decision.reason}"
                 )
 
+    # -- fault injection -------------------------------------------------------
+
+    def inject_worker_loss(self, count: int) -> None:
+        """Kill *count* live workers instantly (chaos-plane churn).
+
+        The controller sees the shrunken fleet at its next evaluation
+        and relaunches — the closed loop's recovery-time question.  At
+        least one worker always survives so the loop stays defined.
+        """
+        if count < 0:
+            raise DppError("cannot lose a negative number of workers")
+        self._live_workers = max(1, self._live_workers - count)
+
     # -- driver ----------------------------------------------------------------
 
     def schedule(self, duration_s: float) -> None:

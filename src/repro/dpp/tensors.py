@@ -24,13 +24,22 @@ WIRE_OVERHEAD_PER_TENSOR = 16
 
 @dataclass
 class TensorBatch:
-    """One ready-to-load batch of training tensors."""
+    """One ready-to-load batch of training tensors.
+
+    ``split_id``/``sequence`` are delivery provenance: which split this
+    batch came from and its deterministic index within that split.  The
+    master uses them to reopen splits whose batches died unserved in a
+    worker's buffer, and the chaos plane to check exactly-once
+    delivery.  ``None`` means the batch was built outside a session.
+    """
 
     labels: np.ndarray
     dense: dict[int, np.ndarray] = field(default_factory=dict)
     sparse_offsets: dict[int, np.ndarray] = field(default_factory=dict)
     sparse_values: dict[int, np.ndarray] = field(default_factory=dict)
     sparse_weights: dict[int, np.ndarray] = field(default_factory=dict)
+    split_id: int | None = None
+    sequence: int = 0
 
     @property
     def n_rows(self) -> int:

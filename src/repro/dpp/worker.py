@@ -115,15 +115,61 @@ class DppWorker:
         self.stats = WorkerStats()
         self.io_trace = IOTrace()
         self.alive = True
+        self.draining = False
+        self._crash_after_batches: int | None = None
         master.register_worker(worker_id)
 
     # -- control -----------------------------------------------------------
 
     def fail(self) -> None:
-        """Kill the worker (fault injection); master requeues its work."""
+        """Kill the worker (fault injection); master requeues its work.
+
+        The buffer dies with the process.  Batches still buffered for
+        already-COMPLETED splits are reported as *stranded* so the
+        master reopens those splits — without this, completed-but-
+        unserved data would silently never reach a trainer.
+        """
         self.alive = False
+        self.draining = False
+        stranded = sorted(
+            {batch.split_id for batch in self.buffer if batch.split_id is not None}
+        )
         self.buffer.clear()
+        self.master.worker_failed(self.worker_id, stranded_split_ids=stranded)
+
+    def drain(self) -> None:
+        """Begin a graceful drain: stop pulling splits, keep serving.
+
+        The worker retires (see :meth:`retire`) once clients have
+        emptied its buffer, so a drain never strands delivered work —
+        the fix for scale-down losing completed batches.
+        """
+        self.draining = True
+
+    def retire(self) -> None:
+        """Finish a graceful drain once the buffer is empty."""
+        if self.buffer:
+            raise DppError(
+                f"worker {self.worker_id} cannot retire with "
+                f"{len(self.buffer)} buffered batches"
+            )
+        self.alive = False
+        self.draining = False
         self.master.worker_failed(self.worker_id)
+
+    def inject_crash(self, after_batches: int = 1) -> None:
+        """Arm a mid-split crash: the worker dies partway through its
+        next split, after loading *after_batches* tensor batches —
+        chaos-plane fault injection for the requeue path."""
+        if after_batches < 0:
+            raise DppError("after_batches cannot be negative")
+        self._crash_after_batches = after_batches
+
+    @property
+    def crash_armed(self) -> bool:
+        """Whether a mid-split crash is pending — fault planners must
+        count armed workers as dead-workers-walking."""
+        return self._crash_after_batches is not None
 
     # -- main loop ----------------------------------------------------------
 
@@ -134,10 +180,22 @@ class DppWorker:
         split = self.master.request_split(self.worker_id)
         if split is None:
             return False
+        sequence = 0
         for batch in self._extract_split(split):
             transform_report = execute_with_cost(self.spec.dag, batch)
             self._charge_transform(transform_report)
-            self._load(batch)
+            self._load(batch, split.split_id, sequence)
+            sequence += 1
+            if (
+                self._crash_after_batches is not None
+                and sequence >= self._crash_after_batches
+            ):
+                # Die mid-split: the split is still ASSIGNED, so fail()
+                # makes the master requeue it; its partial batches are
+                # discarded with the buffer.
+                self._crash_after_batches = None
+                self.fail()
+                return True
         self.master.complete_split(self.worker_id, split.split_id)
         self.stats.splits_completed += 1
         return True
@@ -149,8 +207,15 @@ class DppWorker:
 
     @property
     def wants_work(self) -> bool:
-        """Backpressure: a worker with a full buffer stops pulling splits."""
-        return self.alive and len(self.buffer) < self.config.buffer_batches
+        """Backpressure: a worker with a full buffer stops pulling splits.
+
+        Draining workers never pull — they only serve out their buffer.
+        """
+        return (
+            self.alive
+            and not self.draining
+            and len(self.buffer) < self.config.buffer_batches
+        )
 
     def serve_batch(self) -> TensorBatch | None:
         """RPC handler: pop one tensor batch for a client."""
@@ -343,10 +408,12 @@ class DppWorker:
 
     # -- load ---------------------------------------------------------------
 
-    def _load(self, batch: FeatureBatch) -> None:
+    def _load(self, batch: FeatureBatch, split_id: int, sequence: int) -> None:
         tensors = TensorBatch.from_feature_batch(
             batch, self.spec.effective_output_ids()
         )
+        tensors.split_id = split_id
+        tensors.sequence = sequence
         self.buffer.append(tensors)
         self.stats.batches_produced += 1
         self.stats.usage.memory_resident_bytes = sum(

@@ -144,6 +144,26 @@ class StorageBroker:
     def __init__(self, fabric: StorageFabric) -> None:
         self.fabric = fabric
         self._sessions: dict[int, _SessionRecord] = {}
+        # Chaos-plane hook: fraction of nominal bandwidth currently
+        # deliverable (degraded Tectonic — node loss, rebuild traffic).
+        self._bandwidth_derate = 1.0
+
+    # -- fault injection -----------------------------------------------------
+
+    @property
+    def bandwidth_derate(self) -> float:
+        """Current deliverable fraction of nominal fabric bandwidth."""
+        return self._bandwidth_derate
+
+    def set_bandwidth_derate(self, fraction: float) -> None:
+        """Degrade (or restore) the fabric to *fraction* of nominal.
+
+        Grants issued by subsequent :meth:`apportion` calls shrink
+        proportionally; 1.0 restores full service.
+        """
+        if not 0 < fraction <= 1:
+            raise StorageError("bandwidth derate must be in (0, 1]")
+        self._bandwidth_derate = fraction
 
     # -- session lifecycle -------------------------------------------------
 
@@ -226,8 +246,9 @@ class StorageBroker:
         absorbed = {i: self.cache_absorbed_fraction(i) for i in ids}
         ssd_demands = [demands[i] * absorbed[i] for i in ids]
         hdd_demands = [demands[i] * (1.0 - absorbed[i]) for i in ids]
-        ssd_grants = max_min_share(ssd_demands, self.fabric.ssd_bandwidth)
-        hdd_grants = max_min_share(hdd_demands, self.fabric.hdd_bandwidth)
+        derate = self._bandwidth_derate
+        ssd_grants = max_min_share(ssd_demands, self.fabric.ssd_bandwidth * derate)
+        hdd_grants = max_min_share(hdd_demands, self.fabric.hdd_bandwidth * derate)
         return {
             job_id: BandwidthGrant(
                 job_id=job_id,

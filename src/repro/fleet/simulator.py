@@ -209,6 +209,31 @@ class FleetSimulator:
         del self._active[job.spec.job_id]
         self._admit_queued()
 
+    # -- fault injection ------------------------------------------------------
+
+    def inject_worker_crash(self, job_id: int, count: int = 1) -> int:
+        """Kill up to *count* of a job's live DPP workers (chaos plane).
+
+        Returns how many actually died.  Workers are stateless, so the
+        job loses rate, not data; its controller re-requests and the
+        global allocator re-grants at the next control period.  A job
+        not currently active absorbs nothing.
+        """
+        if count < 1:
+            raise ConfigError("must crash at least one worker")
+        job = self._active.get(job_id)
+        if job is None:
+            return 0
+        died = min(count, job.live_workers)
+        job.live_workers -= died
+        return died
+
+    def degrade_storage(self, fraction: float) -> None:
+        """Degrade the shared Tectonic fabric to *fraction* of nominal
+        bandwidth; 1.0 restores it.  Takes effect from the next tick's
+        apportionment."""
+        self.broker.set_bandwidth_derate(fraction)
+
     # -- control loop ---------------------------------------------------------
 
     def _control(self) -> None:

@@ -17,10 +17,14 @@ natural cacheable unit of DWRF reads.
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass, field
 
 from ..common.errors import StorageError
 from .media import MediaModel, hdd_node, ssd_node
+
+#: Default bound on remembered-but-not-resident keys (the ghost list).
+DEFAULT_GHOST_CAPACITY = 65_536
 
 
 @dataclass(frozen=True)
@@ -68,17 +72,27 @@ class FeatureCache:
         ssd: MediaModel | None = None,
         hdd: MediaModel | None = None,
         admission_threshold: int = 2,
+        ghost_capacity: int = DEFAULT_GHOST_CAPACITY,
     ) -> None:
         if capacity_bytes <= 0:
             raise StorageError("cache capacity must be positive")
         if admission_threshold < 1:
             raise StorageError("admission threshold must be at least 1")
+        if ghost_capacity < 1:
+            raise StorageError("ghost capacity must be at least 1")
         self.capacity_bytes = capacity_bytes
         self.ssd = ssd or ssd_node()
         self.hdd = hdd or hdd_node()
         self.admission_threshold = admission_threshold
+        self.ghost_capacity = ghost_capacity
         self._resident: dict[StreamKey, int] = {}  # key -> popularity
-        self._popularity: dict[StreamKey, int] = {}
+        # Miss history for admission ("ghost" entries: remembered, not
+        # resident).  Bounded: an unbounded ghost list grows linearly
+        # under scan workloads — every missed key remembered forever.
+        # Keys are kept in recency-of-miss order; when full, the
+        # coldest entry (least recently missed, which under a scan is
+        # also the lowest-count) is forgotten.
+        self._ghost: OrderedDict[StreamKey, int] = OrderedDict()
         self.used_bytes = 0
         self.stats = CacheStats()
         self._ssd_time = 0.0
@@ -96,28 +110,30 @@ class FeatureCache:
         if key in self._resident:
             self.stats.hits += 1
             self.stats.hit_bytes += key.length
-            self._popularity[key] = self._popularity.get(key, 0) + 1
-            self._resident[key] = self._popularity[key]
+            self._resident[key] += 1
             service = self.ssd.service_time(key.length, sequential=sequential)
             self._ssd_time += service
             return service
 
         self.stats.misses += 1
         self.stats.miss_bytes += key.length
-        count = self._popularity.get(key, 0) + 1
-        self._popularity[key] = count
+        count = self._ghost.pop(key, 0) + 1
         if count >= self.admission_threshold:
-            self._admit(key)
+            self._admit(key, count)
+        else:
+            self._ghost[key] = count  # re-insert at the hot (recent) end
+            if len(self._ghost) > self.ghost_capacity:
+                self._ghost.popitem(last=False)
         service = self.hdd.service_time(key.length, sequential=sequential)
         self._hdd_time += service
         return service
 
-    def _admit(self, key: StreamKey) -> None:
+    def _admit(self, key: StreamKey, popularity: int) -> None:
         if key.length > self.capacity_bytes:
             return  # never cache a range bigger than the whole tier
         while self.used_bytes + key.length > self.capacity_bytes:
             self._evict_coldest()
-        self._resident[key] = self._popularity[key]
+        self._resident[key] = popularity
         self.used_bytes += key.length
 
     def _evict_coldest(self) -> None:
@@ -125,7 +141,11 @@ class FeatureCache:
             raise StorageError("cache accounting corrupt: nothing to evict")
         coldest = min(self._resident, key=lambda k: (self._resident[k], -k.length))
         self.used_bytes -= coldest.length
-        del self._resident[coldest]
+        # Demote to the ghost list so a re-warming key re-admits fast;
+        # the ghost bound still applies.
+        self._ghost[coldest] = self._resident.pop(coldest)
+        if len(self._ghost) > self.ghost_capacity:
+            self._ghost.popitem(last=False)
         self.stats.evictions += 1
 
     # -- accounting ---------------------------------------------------------------
@@ -134,6 +154,16 @@ class FeatureCache:
     def resident_keys(self) -> int:
         """Number of cached stream ranges."""
         return len(self._resident)
+
+    @property
+    def ghost_keys(self) -> int:
+        """Number of remembered-but-not-resident keys (bounded)."""
+        return len(self._ghost)
+
+    @property
+    def tracked_keys(self) -> int:
+        """Total keys the cache holds metadata for — the memory bound."""
+        return len(self._resident) + len(self._ghost)
 
     def contains(self, key: StreamKey) -> bool:
         """Whether a range is currently resident."""

@@ -1,0 +1,45 @@
+"""Chaos fixtures: a published table plus a fresh-session factory."""
+
+import pytest
+
+from repro.dpp import DppSession
+from repro.dwrf import EncodingOptions
+from repro.tectonic import TectonicFilesystem
+from repro.warehouse import DatasetProfile, SampleGenerator, Table, publish_table
+
+from ..dpp.conftest import make_spec
+
+
+@pytest.fixture(scope="module")
+def published():
+    """(filesystem, schema, footers, table) shared across chaos tests."""
+    profile = DatasetProfile(
+        n_dense=10, n_sparse=5, n_scored=1, avg_coverage=0.6, avg_sparse_length=5.0
+    )
+    generator = SampleGenerator(profile, seed=13)
+    schema = generator.build_schema("dpp_table")
+    table = Table(schema)
+    generator.populate_table(table, ["d0", "d1"], 256)
+    filesystem = TectonicFilesystem(n_nodes=6)
+    footers = publish_table(filesystem, table, EncodingOptions(stripe_rows=64))
+    return filesystem, schema, footers, table
+
+
+@pytest.fixture
+def session_factory(published):
+    """Build a fresh session per call — chaos runs mutate everything."""
+    filesystem, schema, footers, _ = published
+
+    def build(n_workers=3, n_clients=2, spec_overrides=None, **kwargs):
+        spec = make_spec(schema, split_stripes=1, **(spec_overrides or {}))
+        return DppSession(
+            spec,
+            filesystem,
+            schema,
+            footers,
+            n_workers=n_workers,
+            n_clients=n_clients,
+            **kwargs,
+        )
+
+    return build

@@ -1,0 +1,51 @@
+"""Process-stable identity hashing."""
+
+import pytest
+
+from repro.common.hashing import fnv1a_64, stable_fraction, stable_hash
+
+
+class TestFnv1a:
+    def test_known_vectors(self):
+        # Published FNV-1a 64-bit test vectors.
+        assert fnv1a_64(b"") == 0xCBF29CE484222325
+        assert fnv1a_64(b"a") == 0xAF63DC4C8601EC8C
+        assert fnv1a_64(b"foobar") == 0x85944171F73967E8
+
+    def test_chaining(self):
+        assert fnv1a_64(b"bar", fnv1a_64(b"foo")) == fnv1a_64(b"foobar")
+
+
+class TestStableHash:
+    def test_pinned_values_never_change(self):
+        # These constants are the contract: identity hashes feed split
+        # sampling and request-ID ranges, so a change here silently
+        # invalidates every durable checkpoint and serving trace.
+        assert stable_hash("file.dwrf", 0) == 0x5E27AF547B102A85
+        assert stable_hash("host-0") == 0x1A2198A56939AE71
+
+    def test_type_tags_distinguish(self):
+        assert stable_hash(1) != stable_hash("1")
+        assert stable_hash(1) != stable_hash(1.0)
+        assert stable_hash(True) != stable_hash(1)
+        assert stable_hash(None) != stable_hash(0)
+        assert stable_hash(("a", "b")) != stable_hash("ab")
+        assert stable_hash(("a", ("b",))) != stable_hash(("a", "b"))
+
+    def test_arguments_equal_tuple(self):
+        assert stable_hash("f", 3) == stable_hash(("f", 3))
+
+    def test_negative_and_large_ints(self):
+        assert stable_hash(-1) != stable_hash(1)
+        assert isinstance(stable_hash(2**200), int)
+
+    def test_unsupported_type_rejected(self):
+        with pytest.raises(TypeError):
+            stable_hash(object())
+
+    def test_fraction_in_unit_interval(self):
+        fractions = [stable_fraction("key", i) for i in range(1000)]
+        assert all(0.0 <= f < 1.0 for f in fractions)
+        # Roughly uniform: about half below 0.5.
+        below = sum(1 for f in fractions if f < 0.5)
+        assert 400 < below < 600

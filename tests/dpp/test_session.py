@@ -106,6 +106,77 @@ class TestFaultTolerance:
             session.pump()
 
 
+class TestDrainServeOut:
+    def test_batches_delivered_invariant_under_mid_session_drains(self, published):
+        """Scale-down must not strand buffered batches (ISSUE 3): a
+        drained worker serves out its buffer before retiring, so the
+        delivered-batch count matches an undisturbed run exactly."""
+        baseline = make_session(published, n_workers=4).pump()
+
+        drained = make_session(published, n_workers=4)
+        # Fill buffers first so the drained workers hold real tensors.
+        for worker in drained.workers:
+            worker.process_one_split()
+        drained.scale(-2)
+        report = drained.pump()
+        assert report.batches_delivered == baseline.batches_delivered
+        assert report.rows_processed == baseline.rows_processed
+
+    def test_drained_worker_serves_out_then_retires(self, published):
+        session = make_session(published, n_workers=2)
+        victim = session.workers[0]
+        victim.process_one_split()
+        assert victim.buffered_batches > 0
+        session.scale(-1)
+        assert victim.draining and victim.alive
+        assert not victim.wants_work
+        session.pump()
+        # Retired only after its buffer was fully served.
+        assert not victim.alive and not victim.buffer
+        assert victim.stats.batches_served > 0
+
+    def test_drain_never_reprocesses(self, published):
+        """Graceful drains are exactly-once: total splits completed
+        across the fleet equals the session's split count."""
+        session = make_session(published, n_workers=3)
+        for worker in session.workers:
+            worker.process_one_split()
+        session.scale(-1)
+        session.pump()
+        completed = sum(w.stats.splits_completed for w in session.workers)
+        assert completed == session.master.primary.total_splits
+
+    def test_retire_with_buffer_rejected(self, published):
+        session = make_session(published, n_workers=2)
+        worker = session.workers[0]
+        worker.process_one_split()
+        worker.drain()
+        with pytest.raises(DppError):
+            worker.retire()
+
+
+class TestMasterRestart:
+    def test_restart_mid_session_completes(self, published):
+        _, _, _, table = published
+        session = make_session(published, n_workers=2)
+        for worker in session.workers:
+            worker.process_one_split()
+        old_master = session.master
+        session.restart_master()
+        assert session.master is not old_master
+        assert all(w.master is session.master for w in session.workers)
+        report = session.pump()
+        assert report.rows_processed >= table.total_rows()
+
+    def test_restart_preserves_completed_split_set(self, published):
+        session = make_session(published, n_workers=2)
+        session.workers[0].process_one_split()
+        before = session.master.checkpoint()
+        session.restart_master()
+        assert session.master.checkpoint() == before
+        assert session.master.primary.split_ids
+
+
 class TestScaling:
     def test_manual_scale_up(self, published):
         session = make_session(published, n_workers=1)

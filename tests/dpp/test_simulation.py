@@ -139,3 +139,31 @@ class TestSharedClock:
         clock.run_until(60.0)
         assert len(fast.result().samples) == len(slow.result().samples) == 60
         assert fast.result().stall_fraction <= slow.result().stall_fraction
+
+
+class TestWorkerChurn:
+    def test_controller_recovers_from_injected_loss(self):
+        """Autoscaler churn (chaos plane): after losing most of the
+        fleet mid-run, the controller relaunches and the loop returns
+        to a stall-free steady state."""
+        simulation = TimedDppSimulation(make_config(initial_workers=6))
+        simulation.schedule(1200.0)
+        simulation.clock.schedule_at(400.0, lambda: simulation.inject_worker_loss(4))
+        simulation.clock.run_until(1200.0)
+        result = simulation.result()
+        losses = [s for s in result.samples if s.time_s >= 400.0]
+        assert min(s.live_workers for s in losses) <= 2
+        # Recovered: the final stretch is stall-free at full fleet.
+        assert result.stall_fraction_after(1000.0) == 0.0
+        assert result.final_workers >= 5
+
+    def test_loss_never_kills_last_worker(self):
+        simulation = TimedDppSimulation(make_config(initial_workers=3))
+        simulation.inject_worker_loss(99)
+        simulation.run(30.0)
+        assert all(s.live_workers >= 1 for s in simulation.result().samples)
+
+    def test_negative_loss_rejected(self):
+        simulation = TimedDppSimulation(make_config())
+        with pytest.raises(DppError):
+            simulation.inject_worker_loss(-1)

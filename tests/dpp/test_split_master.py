@@ -126,6 +126,38 @@ class TestMasterProtocol:
         master.worker_failed("w0")
         assert master.completed_splits == 1
 
+    def test_stranded_completed_splits_reopen(self, published):
+        """A completed split whose batches died unserved in the
+        worker's buffer is reopened, not lost (ISSUE 3 tentpole)."""
+        _, schema, footers, _ = published
+        spec, files = path_spec_and_files(schema, footers)
+        master = DppMaster(spec, files)
+        master.register_worker("w0")
+        served = master.request_split("w0")
+        master.complete_split("w0", served.split_id)
+        stranded = master.request_split("w0")
+        master.complete_split("w0", stranded.split_id)
+        requeued = master.worker_failed(
+            "w0", stranded_split_ids=[stranded.split_id]
+        )
+        assert requeued == [stranded.split_id]
+        assert master.completed_splits == 1
+        master.register_worker("w1")
+        assert master.request_split("w1").split_id == stranded.split_id
+
+    def test_stranded_ids_tolerate_non_completed_states(self, published):
+        _, schema, footers, _ = published
+        spec, files = path_spec_and_files(schema, footers)
+        master = DppMaster(spec, files)
+        master.register_worker("w0")
+        assigned = master.request_split("w0")
+        # Reporting an ASSIGNED split as stranded must not double-requeue.
+        requeued = master.worker_failed(
+            "w0", stranded_split_ids=[assigned.split_id]
+        )
+        assert requeued == [assigned.split_id]
+        assert master.pending_splits == master.total_splits
+
 
 class TestCheckpointing:
     def test_checkpoint_restore_round_trip(self, published):
@@ -198,3 +230,67 @@ class TestReplicatedMaster:
             split = replicated.request_split("w0")
             replicated.complete_split("w0", split.split_id)
         assert replicated.primary.completed_splits == replicated.primary.total_splits
+
+    def test_stranded_reopen_is_replicated(self, published):
+        """Reopening a stranded split must reship the standby
+        checkpoint, or a later failover resurrects lost data."""
+        _, schema, footers, _ = published
+        spec, files = path_spec_and_files(schema, footers)
+        replicated = ReplicatedMaster(spec, files)
+        replicated.register_worker("w0")
+        split = replicated.request_split("w0")
+        replicated.complete_split("w0", split.split_id)
+        replicated.worker_failed("w0", stranded_split_ids=[split.split_id])
+        replicated.fail_over()
+        # The promoted replica agrees: the split is pending, not done.
+        assert replicated.primary.completed_splits == 0
+        replicated.register_worker("w1")
+        assert replicated.request_split("w1").split_id == split.split_id
+
+
+class TestSampledRecovery:
+    """fail_over + restore with row_sample_rate < 1.0 — the case the
+    salted builtin hash() silently broke (ISSUE 3)."""
+
+    RATE = 0.5
+
+    def sampled_master(self, published):
+        _, schema, footers, _ = published
+        spec, files = path_spec_and_files(schema, footers, row_sample_rate=self.RATE)
+        return spec, files, ReplicatedMaster(spec, files)
+
+    def test_failover_preserves_sampled_split_set(self, published):
+        spec, files, replicated = self.sampled_master(published)
+        before = replicated.primary.split_ids
+        assert 0 < len(before) < len(plan_splits(files, spec.split_stripes))
+        replicated.register_worker("w0")
+        split = replicated.request_split("w0")
+        replicated.complete_split("w0", split.split_id)
+        replicated.fail_over()
+        assert replicated.primary.split_ids == before
+        assert replicated.primary.completed_splits == 1
+
+    def test_restore_into_freshly_planned_master_resolves_all_ids(self, published):
+        spec, files, replicated = self.sampled_master(published)
+        replicated.register_worker("w0")
+        for _ in range(2):
+            split = replicated.request_split("w0")
+            replicated.complete_split("w0", split.split_id)
+        checkpoint = replicated.checkpoint()
+
+        # A restarted master process replans from spec + files; stable
+        # sampling guarantees every checkpointed ID still exists.
+        fresh = ReplicatedMaster(spec, files)
+        assert checkpoint.completed_split_ids <= fresh.primary.split_ids
+        fresh.restore(checkpoint)
+        assert fresh.checkpoint() == checkpoint
+        assert fresh.primary.completed_splits == 2
+
+    def test_session_completes_after_sampled_failover(self, published):
+        _, _, replicated = self.sampled_master(published)
+        replicated.register_worker("w0")
+        replicated.fail_over()
+        while not replicated.done:
+            split = replicated.request_split("w0")
+            replicated.complete_split("w0", split.split_id)
+        assert replicated.primary.progress == 1.0

@@ -116,3 +116,49 @@ class TestPopularityWorkload:
         for _ in range(10):
             cache.read(key(0))
         assert cache.stats.byte_hit_rate == pytest.approx(cache.stats.hit_rate)
+
+
+class TestGhostListBound:
+    def test_scan_of_1m_unique_keys_stays_bounded(self):
+        """The miss-history ("ghost") list must not grow without bound
+        under scan workloads (ISSUE 3): 1M unique keys, bounded
+        metadata."""
+        ghost_cap = 10_000
+        cache = FeatureCache(
+            capacity_bytes=1 << 20,
+            admission_threshold=2,
+            ghost_capacity=ghost_cap,
+        )
+        for i in range(1_000_000):
+            cache.read(key(i))
+        assert cache.ghost_keys <= ghost_cap
+        assert cache.tracked_keys <= ghost_cap + cache.resident_keys
+        # A pure scan admits nothing (threshold 2, every key unique).
+        assert cache.resident_keys == 0
+        assert cache.stats.misses == 1_000_000
+
+    def test_hot_key_survives_scan_to_admission(self):
+        cache = FeatureCache(
+            capacity_bytes=1 << 20, admission_threshold=2, ghost_capacity=64
+        )
+        hot = key(10**7)
+        cache.read(hot)
+        for i in range(32):  # scan pressure below the ghost bound
+            cache.read(key(i))
+        cache.read(hot)  # second touch: admitted despite the scan
+        assert cache.contains(hot)
+
+    def test_evicted_resident_demotes_to_ghost(self):
+        cache = FeatureCache(
+            capacity_bytes=25_000, admission_threshold=1, ghost_capacity=16
+        )
+        cache.read(key(0))  # resident (20 KB)
+        cache.read(key(1))  # evicts key(0) into the ghost list
+        assert not cache.contains(key(0))
+        assert cache.ghost_keys >= 1
+        cache.read(key(0))  # re-warm: popularity survived demotion
+        assert cache.contains(key(0))
+
+    def test_ghost_capacity_validation(self):
+        with pytest.raises(StorageError):
+            FeatureCache(capacity_bytes=1 << 20, ghost_capacity=0)
