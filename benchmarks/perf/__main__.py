@@ -1,5 +1,8 @@
-"""``python -m benchmarks.perf`` — run the harness and print the metrics."""
+"""``python -m benchmarks.perf`` — run the harness; ``--check`` gates
+against the committed baseline instead of rewriting it."""
+
+import sys
 
 from .harness import main
 
-main()
+sys.exit(main())

@@ -9,10 +9,17 @@ reports a throughput metric:
   FLATTENED columnar stripe codec end to end;
 * ``extract_samples_per_s`` — a full DPP session (extract → transform
   → load) on an RM1-shaped miniature, flatmap path;
+* ``simclock_events_per_s`` — raw discrete-event kernel throughput
+  (schedule/fire chains plus cancel traffic for the lazy-deletion path);
 * ``fleet_events_per_s`` — discrete-event throughput of the fleet
-  simulator (PR 1's orchestration plane).
+  simulator on a 32-job multi-tenant region;
+* ``sweep_scenarios_per_s`` — parallel scenario-sweep throughput
+  (``repro.sweep`` fan-out across processes).
 
-Results are merged into one ``BENCH_perf.json`` at the repo root.
+Results are merged into one ``BENCH_perf.json`` at the repo root, and
+:func:`compare_against_baseline` turns the committed artifact into a
+regression gate (CI fails the perf job when any metric loses more than
+30% against it).
 """
 
 from __future__ import annotations
@@ -30,7 +37,14 @@ BENCH_PATH = pathlib.Path(__file__).resolve().parents[2] / "BENCH_perf.json"
 SEAL_PAYLOAD_BYTES = 4 * 1024 * 1024
 STRIPE_ROWS = 2_000
 EXTRACT_ROWS = 4_000
-FLEET_JOBS = 6
+FLEET_JOBS = 32
+SIMCLOCK_CHAINS = 64
+SIMCLOCK_EVENTS = 200_000
+SWEEP_SEEDS = 6
+SWEEP_PROCESSES = 4
+
+#: Fractional slowdown against the committed baseline that fails CI.
+REGRESSION_TOLERANCE = 0.30
 
 
 @dataclass(frozen=True)
@@ -133,12 +147,61 @@ def bench_extract(repeats: int = 1) -> list[Metric]:
     return [Metric("extract_samples_per_s", rows / elapsed, "samples/s", workload)]
 
 
-def bench_fleet(repeats: int = 1) -> list[Metric]:
+def bench_simclock(repeats: int = 3) -> list[Metric]:
+    """Raw kernel throughput: chained events plus cancel churn.
+
+    The workload mirrors what the fleet plane asks of the clock:
+    many interleaved self-rescheduling processes, with a quarter of
+    each round's schedules cancelled before firing (exercising the
+    lazy-deletion/compaction path).
+    """
+    from repro.common.simclock import SimClock
+
+    per_chain = SIMCLOCK_EVENTS // SIMCLOCK_CHAINS
+
+    def run_kernel() -> int:
+        clock = SimClock()
+        state = {"doomed": []}
+
+        def make_chain(offset: float):
+            remaining = [per_chain]
+
+            def hop() -> None:
+                remaining[0] -= 1
+                if remaining[0] > 0:
+                    clock.schedule(1.0, hop)
+                    # Cancel traffic: every fourth hop also schedules a
+                    # decoy and kills it, so the heap carries corpses.
+                    if remaining[0] % 4 == 0:
+                        state["doomed"].append(clock.schedule(5.0, _noop))
+                        if len(state["doomed"]) >= 512:
+                            for handle in state["doomed"]:
+                                handle.cancel()
+                            state["doomed"].clear()
+
+            clock.schedule(offset, hop)
+
+        def _noop() -> None:
+            pass
+
+        for chain in range(SIMCLOCK_CHAINS):
+            make_chain(1.0 + chain / SIMCLOCK_CHAINS)
+        return clock.run(max_events=2 * SIMCLOCK_EVENTS)
+
+    elapsed, events = _timed(run_kernel, repeats=repeats)
+    workload = (
+        f"{SIMCLOCK_CHAINS} chains, {events} events, 25% cancel traffic"
+    )
+    return [Metric("simclock_events_per_s", events / elapsed, "events/s", workload)]
+
+
+def bench_fleet(repeats: int = 3) -> list[Metric]:
     """Discrete-event throughput of the fleet orchestration plane."""
     from repro.cluster.job import JobKind
     from repro.fleet import FleetConfig, FleetJobSpec, FleetSimulator, PoolConfig, StorageFabric
-    from repro.workloads.models import RM1, RM2
+    from repro.workloads.models import RM1, RM2, RM3
 
+    models = (RM1, RM2, RM3)
     config = FleetConfig(
         fabric=StorageFabric(n_hdd_nodes=40, n_ssd_cache_nodes=4),
         n_trainer_nodes=32,
@@ -147,11 +210,11 @@ def bench_fleet(repeats: int = 1) -> list[Metric]:
     jobs = [
         FleetJobSpec(
             job_id=i,
-            model=RM1 if i % 2 == 0 else RM2,
+            model=models[i % 3],
             kind=JobKind.EXPLORATORY,
             arrival_s=120.0 * i,
             trainer_nodes=2,
-            target_samples=0.5 * 3600 * 2 * (RM1 if i % 2 == 0 else RM2).samples_per_s_per_trainer,
+            target_samples=0.5 * 3600 * 2 * models[i % 3].samples_per_s_per_trainer,
         )
         for i in range(FLEET_JOBS)
     ]
@@ -159,14 +222,49 @@ def bench_fleet(repeats: int = 1) -> list[Metric]:
     def run_fleet() -> int:
         simulator = FleetSimulator(config, list(jobs))
         simulator.schedule()
-        fired = 0
-        while simulator.clock.step():
-            fired += 1
-        return fired
+        return simulator.clock.run()
 
     elapsed, events = _timed(run_fleet, repeats=repeats)
     workload = f"{FLEET_JOBS} staggered jobs, run to completion ({events} events)"
     return [Metric("fleet_events_per_s", events / elapsed, "events/s", workload)]
+
+
+def bench_sweep(repeats: int = 1) -> list[Metric]:
+    """Scenario-sweep throughput: grid fan-out across processes."""
+    from repro.sweep import ScenarioGrid, SweepRunner
+    from repro.fleet import FleetConfig, FleetMix, PoolConfig, StorageFabric
+
+    grid = ScenarioGrid(
+        seeds=tuple(range(SWEEP_SEEDS)),
+        mixes=(
+            ("default", FleetMix()),
+            ("busy", FleetMix(exploratory_per_day=96.0)),
+        ),
+        configs=(
+            (
+                "base",
+                FleetConfig(
+                    fabric=StorageFabric(n_hdd_nodes=20, n_ssd_cache_nodes=2),
+                    n_trainer_nodes=16,
+                    pool=PoolConfig(max_workers=500),
+                ),
+            ),
+        ),
+        duration_s=2.0 * 3600,
+    )
+
+    def run_sweep() -> int:
+        report = SweepRunner(grid, jobs=SWEEP_PROCESSES).run()
+        return len(report.results)
+
+    elapsed, scenarios = _timed(run_sweep, repeats=repeats)
+    workload = (
+        f"{len(grid)} scenarios (2 mixes x {SWEEP_SEEDS} seeds), "
+        f"{SWEEP_PROCESSES} processes"
+    )
+    return [
+        Metric("sweep_scenarios_per_s", scenarios / elapsed, "scenarios/s", workload)
+    ]
 
 
 def run_all(write: bool = True, path: pathlib.Path | None = None) -> dict:
@@ -179,7 +277,14 @@ def run_all(write: bool = True, path: pathlib.Path | None = None) -> dict:
     dirty the tree with machine-local numbers.
     """
     metrics: list[Metric] = []
-    for bench in (bench_seal, bench_stripe_codec, bench_extract, bench_fleet):
+    for bench in (
+        bench_seal,
+        bench_stripe_codec,
+        bench_extract,
+        bench_simclock,
+        bench_fleet,
+        bench_sweep,
+    ):
         metrics.extend(bench())
     payload = {
         "harness": "benchmarks.perf",
@@ -194,13 +299,104 @@ def run_all(write: bool = True, path: pathlib.Path | None = None) -> dict:
     return payload
 
 
-def main() -> None:
-    payload = run_all()
+def compare_against_baseline(
+    payload: dict,
+    baseline: dict,
+    tolerance: float = REGRESSION_TOLERANCE,
+) -> list[str]:
+    """Regressions of *payload* versus *baseline*, as human-readable lines.
+
+    A metric regresses when its fresh value falls more than *tolerance*
+    below the baseline's.  Metrics present only on one side are noted
+    but do not fail the gate (the baseline predates newly added
+    benchmarks exactly once).
+    """
+    problems: list[str] = []
+    fresh = payload["metrics"]
+    recorded = baseline.get("metrics", {})
+    for name, entry in sorted(recorded.items()):
+        if name not in fresh:
+            continue  # retired metric: the baseline refresh removes it
+        old = entry["value"]
+        new = fresh[name]["value"]
+        if old > 0 and new < old * (1.0 - tolerance):
+            problems.append(
+                f"{name}: {new:,.1f} {fresh[name]['unit']} is "
+                f"{(1.0 - new / old):.0%} below baseline {old:,.1f}"
+            )
+    return problems
+
+
+def check(
+    path: pathlib.Path | None = None,
+    tolerance: float = REGRESSION_TOLERANCE,
+    artifact: pathlib.Path | None = None,
+) -> int:
+    """Run the harness and gate it against the committed baseline.
+
+    Returns a process exit code: 0 when every metric holds within
+    *tolerance* of ``BENCH_perf.json`` (or no baseline exists yet),
+    1 otherwise.  The fresh run is *not* written to the baseline —
+    refreshing it stays a deliberate ``python -m benchmarks.perf`` act
+    — but *artifact* captures it elsewhere (the CI job gates and
+    uploads from one harness run instead of benchmarking twice).
+    """
+    baseline_path = BENCH_PATH if path is None else path
+    payload = run_all(write=artifact is not None, path=artifact)
+    _print_metrics(payload, header="perf harness (check mode)")
+    if not baseline_path.exists():
+        print(f"no baseline at {baseline_path}; skipping regression gate")
+        return 0
+    baseline = json.loads(baseline_path.read_text())
+    problems = compare_against_baseline(payload, baseline, tolerance)
+    if problems:
+        print(f"PERF REGRESSION versus {baseline_path} (>{tolerance:.0%}):")
+        for line in problems:
+            print(f"  {line}")
+        return 1
+    print(f"all metrics within {tolerance:.0%} of {baseline_path}")
+    return 0
+
+
+def _print_metrics(payload: dict, header: str) -> None:
     width = max(len(name) for name in payload["metrics"])
-    print(f"perf harness → {BENCH_PATH}")
+    print(header)
     for name, entry in payload["metrics"].items():
-        print(f"  {name:<{width}}  {entry['value']:>14,.1f} {entry['unit']:<10} [{entry['workload']}]")
+        print(
+            f"  {name:<{width}}  {entry['value']:>14,.1f} {entry['unit']:<12} "
+            f"[{entry['workload']}]"
+        )
+
+
+def main(argv: list[str] | None = None) -> int:
+    import argparse
+
+    parser = argparse.ArgumentParser(prog="python -m benchmarks.perf")
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="compare against the committed BENCH_perf.json instead of "
+        "rewriting it; exit 1 on a >30%% regression",
+    )
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=REGRESSION_TOLERANCE,
+        help="fractional slowdown allowed in --check mode (default 0.30)",
+    )
+    parser.add_argument(
+        "--artifact",
+        type=pathlib.Path,
+        help="in --check mode, also write the fresh metrics to this path "
+        "(the committed baseline is never touched)",
+    )
+    args = parser.parse_args(argv)
+    if args.check:
+        return check(tolerance=args.tolerance, artifact=args.artifact)
+    payload = run_all()
+    _print_metrics(payload, header=f"perf harness → {BENCH_PATH}")
+    return 0
 
 
 if __name__ == "__main__":
-    main()
+    raise SystemExit(main())

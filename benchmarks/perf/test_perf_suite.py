@@ -5,13 +5,15 @@ positive value) — absolute throughput floors would flake across
 machines.  The test writes to a temp path so plain ``pytest`` runs
 never touch the committed repo-root ``BENCH_perf.json``; that file is
 refreshed deliberately via ``python -m benchmarks.perf`` (the CI perf
-job does this and uploads it), and trajectory comparisons across PRs
-diff the committed artifact.
+job regenerates and uploads it), and trajectory comparisons across PRs
+diff the committed artifact.  The regression gate
+(``python -m benchmarks.perf --check``) is covered with synthetic
+payloads, where it cannot flake on machine speed.
 """
 
 import json
 
-from .harness import run_all
+from .harness import REGRESSION_TOLERANCE, compare_against_baseline, run_all
 
 REQUIRED_METRICS = {
     "seal_mb_per_s",
@@ -19,7 +21,9 @@ REQUIRED_METRICS = {
     "stripe_encode_rows_per_s",
     "stripe_decode_rows_per_s",
     "extract_samples_per_s",
+    "simclock_events_per_s",
     "fleet_events_per_s",
+    "sweep_scenarios_per_s",
 }
 
 
@@ -32,3 +36,43 @@ def test_perf_harness_writes_consolidated_artifact(tmp_path):
         assert entry["value"] > 0, f"metric {name} measured non-positive throughput"
         assert entry["unit"]
         assert entry["workload"]
+
+
+def _payload(**values):
+    return {
+        "metrics": {
+            name: {"value": value, "unit": "x/s", "workload": "synthetic"}
+            for name, value in values.items()
+        }
+    }
+
+
+class TestRegressionGate:
+    def test_within_tolerance_passes(self):
+        fresh = _payload(a=80.0, b=200.0)
+        baseline = _payload(a=100.0, b=150.0)
+        assert compare_against_baseline(fresh, baseline) == []
+
+    def test_beyond_tolerance_flagged(self):
+        fresh = _payload(a=60.0)
+        baseline = _payload(a=100.0)
+        problems = compare_against_baseline(fresh, baseline)
+        assert len(problems) == 1
+        assert "a:" in problems[0] and "40%" in problems[0]
+
+    def test_boundary_is_exactly_the_tolerance(self):
+        baseline = _payload(a=100.0)
+        at_edge = _payload(a=100.0 * (1.0 - REGRESSION_TOLERANCE))
+        assert compare_against_baseline(at_edge, baseline) == []
+        below = _payload(a=100.0 * (1.0 - REGRESSION_TOLERANCE) - 0.5)
+        assert compare_against_baseline(below, baseline)
+
+    def test_new_metrics_do_not_fail_the_gate(self):
+        fresh = _payload(a=100.0, brand_new=1.0)
+        baseline = _payload(a=100.0)
+        assert compare_against_baseline(fresh, baseline) == []
+
+    def test_retired_metrics_do_not_fail_the_gate(self):
+        fresh = _payload(a=100.0)
+        baseline = _payload(a=100.0, retired=50.0)
+        assert compare_against_baseline(fresh, baseline) == []

@@ -231,10 +231,14 @@ def run_scenario(
 
 
 def schedule_fleet_faults(
-    simulator: "FleetSimulator", faults: list[FaultEvent], job_ids: list[int]
+    simulator: "FleetSimulator",
+    faults: list[FaultEvent] | FaultSchedule,
+    job_ids: list[int],
 ) -> list[str]:
     """Pin fault events to a fleet simulator's virtual clock.
 
+    *faults* is a plain event list or a :class:`FaultSchedule` (the
+    sweep plane ships schedules around as one picklable object).
     ``round_index`` is reinterpreted as *seconds* of virtual time from
     now.  Worker crashes hit the job drawn round-robin from *job_ids*;
     storage events hit the shared fabric.  Returns a log list that
@@ -243,6 +247,8 @@ def schedule_fleet_faults(
     Only fleet-meaningful kinds are accepted: per-session faults
     (drains, failovers, restarts) belong to :class:`ChaosRunner`.
     """
+    if isinstance(faults, FaultSchedule):
+        faults = list(faults.events)
     supported = {
         FaultKind.WORKER_CRASH,
         FaultKind.DEGRADE_STORAGE,

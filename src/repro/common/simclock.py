@@ -1,47 +1,65 @@
 """A small discrete-event simulation kernel.
 
 Several parts of the library (the DPP auto-scaler, the storage cluster,
-the fleet utilization traces) need to advance virtual time and run
-callbacks in timestamp order.  This kernel is deliberately minimal: an
-event heap keyed by ``(time, sequence)`` with deterministic FIFO
-tie-breaking, plus a handful of conveniences for periodic processes.
+the fleet utilization traces, the scenario-sweep runner) need to
+advance virtual time and run callbacks in timestamp order.  The kernel
+is built for throughput: heap entries are plain ``(time, seq, slot)``
+tuples (tuple comparison is the fastest ordering CPython offers), and
+callbacks live in a slot-indexed array on the side rather than inside
+the heap entries.  Cancellation is *lazy* — a cancelled event's slot is
+nulled and the heap entry is discarded whenever it surfaces — with a
+compaction pass that rebuilds the heap once dead entries outnumber live
+ones, so heavy cancel traffic (fleet worker-launch reshaping) cannot
+bloat the queue.  ``run``/``run_until`` drain events in a batched
+inline loop instead of re-entering :meth:`step` per event.
+
+Deterministic FIFO tie-breaking at equal timestamps is preserved: the
+monotonically increasing ``seq`` is the second tuple element.
 """
 
 from __future__ import annotations
 
 import heapq
-import itertools
-from dataclasses import dataclass, field
 from typing import Callable
 
 EventCallback = Callable[[], None]
 
-
-@dataclass(order=True)
-class _ScheduledEvent:
-    time: float
-    seq: int
-    callback: EventCallback = field(compare=False)
-    cancelled: bool = field(compare=False, default=False)
+#: Compaction below this many dead entries is not worth the heapify.
+_COMPACT_MIN_DEAD = 64
 
 
 class EventHandle:
     """Handle returned by :meth:`SimClock.schedule`, usable to cancel."""
 
-    def __init__(self, event: _ScheduledEvent, clock: "SimClock") -> None:
-        self._event = event
+    __slots__ = ("_clock", "_slot", "_seq", "_time")
+
+    def __init__(self, clock: "SimClock", slot: int, seq: int, time: float) -> None:
         self._clock = clock
+        self._slot = slot
+        self._seq = seq
+        self._time = time
 
     def cancel(self) -> None:
-        """Prevent the event from firing if it has not fired yet."""
-        if not self._event.cancelled:
-            self._event.cancelled = True
-            self._clock._live -= 1
+        """Prevent the event from firing if it has not fired yet.
+
+        Slots are recycled once their event leaves the heap, so the
+        handle's ``seq`` acts as a generation check: a late cancel on a
+        fired (or already-cancelled) event is a harmless no-op even if
+        the slot now hosts a different event.
+        """
+        clock = self._clock
+        slot = self._slot
+        if clock._slot_seq[slot] != self._seq or clock._callbacks[slot] is None:
+            return
+        clock._callbacks[slot] = None
+        clock._live -= 1
+        clock._dead += 1
+        clock._maybe_compact()
 
     @property
     def time(self) -> float:
         """The virtual time the event is scheduled for."""
-        return self._event.time
+        return self._time
 
 
 class PeriodicHandle:
@@ -74,11 +92,18 @@ class SimClock:
 
     def __init__(self, start: float = 0.0) -> None:
         self._now = start
-        self._heap: list[_ScheduledEvent] = []
-        self._seq = itertools.count()
-        # Live-event counter: incremented on schedule, decremented on
-        # cancel and fire, so `pending` never scans the heap.
-        self._live = 0
+        self._heap: list[tuple[float, int, int]] = []
+        self._next_seq = 0
+        # Slot-indexed side arrays: the callback (None = cancelled or
+        # fired) and the seq of the slot's current occupant (handles'
+        # generation check).  Freed slots are recycled via a free list
+        # so long runs do not grow the arrays without bound.
+        self._callbacks: list[EventCallback | None] = []
+        self._slot_seq: list[int] = []
+        self._free_slots: list[int] = []
+        self._live = 0  # scheduled, not yet fired or cancelled
+        self._dead = 0  # cancelled entries still sitting in the heap
+        self._fired = 0  # events executed over the clock's lifetime
 
     @property
     def now(self) -> float:
@@ -89,10 +114,20 @@ class SimClock:
         """Run *callback* after *delay* seconds of virtual time."""
         if delay < 0:
             raise ValueError("cannot schedule events in the past")
-        event = _ScheduledEvent(self._now + delay, next(self._seq), callback)
-        heapq.heappush(self._heap, event)
+        seq = self._next_seq
+        self._next_seq = seq + 1
+        time = self._now + delay
+        if self._free_slots:
+            slot = self._free_slots.pop()
+            self._callbacks[slot] = callback
+            self._slot_seq[slot] = seq
+        else:
+            slot = len(self._callbacks)
+            self._callbacks.append(callback)
+            self._slot_seq.append(seq)
+        heapq.heappush(self._heap, (time, seq, slot))
         self._live += 1
-        return EventHandle(event, self)
+        return EventHandle(self, slot, seq, time)
 
     def schedule_at(self, when: float, callback: EventCallback) -> EventHandle:
         """Run *callback* at absolute virtual time *when*."""
@@ -130,32 +165,84 @@ class SimClock:
             handle._inner = self.schedule(interval, tick)
         return handle
 
+    # -- dead-entry hygiene ----------------------------------------------------
+
+    def _maybe_compact(self) -> None:
+        """Rebuild the heap once dead entries outnumber live ones.
+
+        Lazy deletion alone lets a cancel-heavy workload carry a heap
+        mostly full of corpses, inflating every push/pop.  Rebuilding is
+        O(n) and amortizes to O(1) per cancel; the heap list is mutated
+        in place because batched drain loops hold a local alias.
+        """
+        if self._dead < _COMPACT_MIN_DEAD or self._dead * 2 <= len(self._heap):
+            return
+        callbacks = self._callbacks
+        survivors = []
+        free = self._free_slots
+        for entry in self._heap:
+            if callbacks[entry[2]] is not None:
+                survivors.append(entry)
+            else:
+                free.append(entry[2])
+        self._heap[:] = survivors
+        heapq.heapify(self._heap)
+        self._dead = 0
+
+    # -- drivers ---------------------------------------------------------------
+
     def step(self) -> bool:
         """Fire the next pending event.  Returns False if none remain."""
-        while self._heap:
-            event = heapq.heappop(self._heap)
-            if event.cancelled:
+        heap = self._heap
+        callbacks = self._callbacks
+        pop = heapq.heappop
+        while heap:
+            time, _seq, slot = pop(heap)
+            callback = callbacks[slot]
+            if callback is None:
+                self._dead -= 1
+                self._free_slots.append(slot)
                 continue
-            self._now = event.time
-            event.cancelled = True  # fired: a late cancel() must not double-count
+            callbacks[slot] = None
+            self._free_slots.append(slot)
             self._live -= 1
-            event.callback()
+            self._fired += 1
+            self._now = time
+            callback()
             return True
         return False
 
     def run_until(self, deadline: float) -> None:
-        """Fire events in order until virtual time reaches *deadline*."""
-        while self._heap:
-            event = self._heap[0]
-            if event.cancelled:
+        """Fire events in order until virtual time reaches *deadline*.
+
+        Batched drain: same-timestamp runs (a fleet's tick + control
+        landing together, a burst of arrivals) fire back to back in one
+        inline loop without re-entering :meth:`step`.
+        """
+        heap = self._heap
+        callbacks = self._callbacks
+        free = self._free_slots
+        pop = heapq.heappop
+        while heap:
+            time, _seq, slot = heap[0]
+            if callbacks[slot] is None:
                 # Discard dead heap heads here: stepping over one would
                 # fire the *next* live event even when it lies beyond
                 # the deadline.
-                heapq.heappop(self._heap)
+                pop(heap)
+                self._dead -= 1
+                free.append(slot)
                 continue
-            if event.time > deadline:
+            if time > deadline:
                 break
-            self.step()
+            pop(heap)
+            callback = callbacks[slot]
+            callbacks[slot] = None
+            free.append(slot)
+            self._live -= 1
+            self._fired += 1
+            self._now = time
+            callback()
         self._now = max(self._now, deadline)
 
     def run(self, max_events: int = 1_000_000) -> int:
@@ -164,9 +251,28 @@ class SimClock:
         *max_events* guards against runaway self-rescheduling processes.
         """
         fired = 0
-        while fired < max_events and self.step():
+        heap = self._heap
+        callbacks = self._callbacks
+        free = self._free_slots
+        pop = heapq.heappop
+        while heap and fired < max_events:
+            time, _seq, slot = pop(heap)
+            callback = callbacks[slot]
+            if callback is None:
+                self._dead -= 1
+                free.append(slot)
+                continue
+            callbacks[slot] = None
+            free.append(slot)
+            self._live -= 1
+            self._fired += 1
+            self._now = time
+            callback()
             fired += 1
-        if fired >= max_events and self._heap:
+        # Guard on live events, not the physical heap: lazily-deleted
+        # corpses below the compaction threshold may outlast the last
+        # real event.
+        if fired >= max_events and self._live:
             raise RuntimeError(f"simulation exceeded {max_events} events")
         return fired
 
@@ -174,3 +280,9 @@ class SimClock:
     def pending(self) -> int:
         """Number of scheduled (uncancelled) events still in the queue."""
         return self._live
+
+    @property
+    def fired(self) -> int:
+        """Events executed over the clock's lifetime (cancellations
+        excluded) — the denominator of events-per-second metrics."""
+        return self._fired

@@ -78,6 +78,10 @@ class ScalingDecision:
         return "hold"
 
 
+#: The steady-state outcome, shared across evaluations (immutable).
+_HOLD = ScalingDecision(0, "buffers and utilization in band")
+
+
 class AutoscalingController:
     """Evaluates worker telemetry into launch/drain decisions."""
 
@@ -91,11 +95,52 @@ class AutoscalingController:
             decision = ScalingDecision(self.config.scale_up_step, "no live workers")
             self.decisions.append(decision)
             return decision
-        config = self.config
         n = len(telemetry)
-        buffered_per_worker = sum(t.buffered_batches for t in telemetry) / n
-        mean_utilization = sum(t.max_utilization for t in telemetry) / n
+        return self._decide(
+            n,
+            sum(t.buffered_batches for t in telemetry) / n,
+            sum(t.max_utilization for t in telemetry) / n,
+        )
 
+    def evaluate_uniform(
+        self, n_workers: int, buffered_batches: int, utilization: float
+    ) -> ScalingDecision:
+        """O(1) evaluation of a fleet whose workers report identically.
+
+        Simulation planes (the fleet simulator, the timed session) model
+        workers as a fluid: every worker in a job holds the same buffer
+        depth and utilization, so materializing ``n_workers`` identical
+        :class:`WorkerTelemetry` records per control period only to
+        average them back together is pure overhead — it was the fleet
+        simulator's hottest path.  This entry point feeds the aggregate
+        straight into the same decision logic.
+        """
+        if n_workers <= 0:
+            decision = ScalingDecision(self.config.scale_up_step, "no live workers")
+            self.decisions.append(decision)
+            return decision
+        return self._decide(
+            n_workers, float(buffered_batches), max(utilization, 0.0)
+        )
+
+    def _decide(
+        self, n: int, buffered_per_worker: float, mean_utilization: float
+    ) -> ScalingDecision:
+        """The shared launch/drain policy over fleet-level aggregates."""
+        config = self.config
+        if (
+            buffered_per_worker >= config.min_buffered_per_worker
+            and (
+                buffered_per_worker <= config.drain_buffered_per_worker
+                or mean_utilization >= config.low_utilization
+                or n <= config.min_workers
+            )
+        ):
+            # Steady state: every healthy fleet takes this branch on
+            # almost every evaluation, so it shares one immutable
+            # decision instead of formatting a fresh one each period.
+            self.decisions.append(_HOLD)
+            return _HOLD
         if buffered_per_worker < config.min_buffered_per_worker:
             headroom = config.max_workers - n
             delta = min(config.scale_up_step, headroom)
@@ -103,18 +148,12 @@ class AutoscalingController:
                 delta,
                 f"buffers low ({buffered_per_worker:.2f}/worker): trainers at risk of stalls",
             )
-        elif (
-            buffered_per_worker > config.drain_buffered_per_worker
-            and mean_utilization < config.low_utilization
-            and n > config.min_workers
-        ):
+        else:
             drainable = n - config.min_workers
             decision = ScalingDecision(
                 -min(config.drain_step, drainable),
                 f"buffers full ({buffered_per_worker:.2f}/worker) and fleet "
                 f"underutilized ({mean_utilization:.0%})",
             )
-        else:
-            decision = ScalingDecision(0, "buffers and utilization in band")
         self.decisions.append(decision)
         return decision

@@ -20,7 +20,7 @@ from dataclasses import dataclass, field
 
 from ..common.errors import DppError
 from ..common.simclock import SimClock
-from .autoscaler import AutoscalerConfig, AutoscalingController, WorkerTelemetry
+from .autoscaler import AutoscalerConfig, AutoscalingController
 
 
 @dataclass(frozen=True)
@@ -134,10 +134,13 @@ class TimedDppSimulation:
     def _tick(self) -> None:
         config = self.config
         now = self.clock.now
-        # Complete any worker launches that finished spinning up.
-        ready = [t for t in self._pending if t <= now]
-        self._pending = [t for t in self._pending if t > now]
-        self._live_workers += len(ready)
+        # Complete any worker launches that finished spinning up (skip
+        # the rebuild entirely on the common no-launches-in-flight tick).
+        if self._pending:
+            ready = [t for t in self._pending if t <= now]
+            if ready:
+                self._pending = [t for t in self._pending if t > now]
+                self._live_workers += len(ready)
 
         produced = self._live_workers * config.worker_batches_per_s * config.tick_s
         demand = config.trainer_batches_per_s * config.tick_s
@@ -169,17 +172,12 @@ class TimedDppSimulation:
             config.trainer_batches_per_s
             / max(self._live_workers * config.worker_batches_per_s, 1e-9),
         )
-        telemetry = [
-            WorkerTelemetry(
-                worker_id=f"w{i}",
-                buffered_batches=int(per_worker_buffer),
-                cpu_utilization=utilization,
-                memory_utilization=0.0,
-                network_utilization=0.0,
-            )
-            for i in range(self._live_workers)
-        ]
-        decision = self.controller.evaluate(telemetry)
+        # Every fluid-model worker reports identically, so the O(1)
+        # aggregate evaluation replaces materializing one telemetry
+        # record per worker per control period.
+        decision = self.controller.evaluate_uniform(
+            self._live_workers, int(per_worker_buffer), utilization
+        )
         if decision.delta > 0:
             # The controller caps on live workers; in-flight launches
             # also count against the fleet ceiling.

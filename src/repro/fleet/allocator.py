@@ -150,47 +150,69 @@ class GlobalDppAllocator:
         """
         if len({r.job_id for r in requests}) != len(requests):
             raise SchedulingError("duplicate job in allocation round")
+        return self.allocate_compact(
+            [(KIND_PRIORITY[r.kind], r.job_id, r.desired, r.minimum) for r in requests],
+            active_trainer_nodes,
+            time_s,
+        )
+
+    def allocate_compact(
+        self,
+        rows: list[tuple[int, int, int, int]],
+        active_trainer_nodes: int,
+        time_s: float = 0.0,
+    ) -> dict[int, int]:
+        """Tuple-row fast path of :meth:`allocate`.
+
+        *rows* are ``(priority, job_id, desired, minimum)`` tuples with
+        unique job ids (not re-validated here).  The fleet control loop
+        runs an allocation round every control period and already holds
+        each job's cached priority rank, so it skips the
+        :class:`WorkerRequest` object layer; the integer water-filling
+        is identical, hence so are the grants.
+        """
         pool = self.pool_limit(active_trainer_nodes)
         outcome = AllocationRound(time_s=time_s, pool_limit=pool)
         self.rounds.append(outcome)
-        if not requests:
-            return outcome.granted
-        ordered = sorted(
-            requests, key=lambda r: (KIND_PRIORITY[r.kind], r.job_id)
-        )
+        granted = outcome.granted
+        if not rows:
+            return granted
+        rows = sorted(rows)
         remaining = pool
-        for request in ordered:
-            floor = min(request.minimum, remaining)
-            outcome.granted[request.job_id] = floor
+        for _priority, job_id, _desired, minimum in rows:
+            floor = minimum if minimum < remaining else remaining
+            granted[job_id] = floor
             remaining -= floor
-        # Water-fill within each priority tier until desires or the
-        # pool are exhausted.
-        tiers: dict[int, list[WorkerRequest]] = {}
-        for request in ordered:
-            tiers.setdefault(KIND_PRIORITY[request.kind], []).append(request)
-        for priority in sorted(tiers):
-            remaining = self._fill_tier(tiers[priority], outcome.granted, remaining)
-            if remaining <= 0:
-                break
-        return outcome.granted
+        # Water-fill within each priority tier (a consecutive run of
+        # the sorted rows) until desires or the pool are exhausted.
+        start = 0
+        n = len(rows)
+        while start < n and remaining > 0:
+            stop = start
+            priority = rows[start][0]
+            while stop < n and rows[stop][0] == priority:
+                stop += 1
+            remaining = self._fill_tier(rows[start:stop], granted, remaining)
+            start = stop
+        return granted
 
     @staticmethod
     def _fill_tier(
-        requests: list[WorkerRequest], granted: dict[int, int], pool: int
+        rows: list[tuple[int, int, int, int]], granted: dict[int, int], pool: int
     ) -> int:
         """Integer max-min water-filling of one priority tier."""
         while pool > 0:
-            unmet = [r for r in requests if granted[r.job_id] < r.desired]
+            unmet = [r for r in rows if granted[r[1]] < r[2]]
             if not unmet:
                 break
             share = max(1, pool // len(unmet))
             progressed = False
-            for request in unmet:
+            for _priority, job_id, desired, _minimum in unmet:
                 if pool <= 0:
                     break
-                grant = min(share, request.desired - granted[request.job_id], pool)
+                grant = min(share, desired - granted[job_id], pool)
                 if grant > 0:
-                    granted[request.job_id] += grant
+                    granted[job_id] += grant
                     pool -= grant
                     progressed = True
             if not progressed:

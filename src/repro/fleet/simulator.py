@@ -16,6 +16,17 @@ simulation on a single :class:`~repro.common.simclock.SimClock`:
   fleet size and the :class:`~repro.fleet.allocator.GlobalDppAllocator`
   arbitrates all proposals against one power-bounded worker pool.
 
+The tick dynamics run in one of two modes with identical semantics:
+the default **fused** mode coalesces the per-job state update into
+vectorized numpy passes over all active jobs (demand declaration,
+grant application, consumption, stall accrual), while the **reference**
+mode keeps the original one-Python-loop-per-phase structure.  Both
+modes share the same event ordering and the same floating-point
+operations, so a fixed job trace produces *bit-identical*
+:class:`~repro.fleet.report.FleetReport`\\ s either way — the
+equivalence suite (``tests/fleet/test_tick_equivalence.py``) holds the
+fused hot path to that contract.
+
 The result is a :class:`~repro.fleet.report.FleetReport`: per-job
 throughput, contention slowdown, queue delay, and shared-resource
 utilization traces.
@@ -24,24 +35,34 @@ utilization traces.
 from __future__ import annotations
 
 import math
+from collections import deque
 from dataclasses import dataclass, field
+
+import numpy as np
 
 from ..common.errors import ConfigError, SchedulingError
 from ..common.simclock import SimClock
 from ..dpp.analytical import worker_throughput
-from ..dpp.autoscaler import AutoscalerConfig, AutoscalingController, WorkerTelemetry
+from ..dpp.autoscaler import AutoscalerConfig, AutoscalingController
 from ..workloads.hardware import V100_TRAINER, TrainerNodeSpec
 from .allocator import (
+    KIND_PRIORITY,
     FleetPowerBudget,
     GlobalDppAllocator,
     PoolConfig,
-    WorkerRequest,
 )
-from .broker import StorageBroker, StorageFabric
+from .broker import StorageBroker, StorageFabric, max_min_share
 from .jobs import FleetJobSpec
 from .report import FleetReport, FleetSample, JobOutcome
 
 _EPS = 1e-9
+
+#: Active-job count from which the fused tick switches its coalesced
+#: pass from the tight scalar loop to numpy array operations.  Below
+#: this, per-ufunc dispatch overhead outweighs the vectorized
+#: arithmetic; measured crossover on CPython 3.11 / numpy 2.x is
+#: around a few dozen jobs.
+_VECTOR_MIN = 32
 
 
 def _fleet_autoscaler_config() -> AutoscalerConfig:
@@ -93,37 +114,94 @@ class FleetConfig:
 
 @dataclass
 class _ActiveJob:
-    """Fluid state of one admitted session."""
+    """Fluid state of one admitted session.
+
+    Spec-derived rates are resolved once at admission: the tick loop
+    reads them every virtual minute, and walking the model-config
+    property chains per tick per job was measurable overhead.
+    """
 
     spec: FleetJobSpec
     outcome: JobOutcome
     worker_qps: float
     controller: AutoscalingController
     requested: int
+    # Cached spec constants (admission-time resolution).
+    demand_sps: float = 0.0
+    rx_bytes_per_sample: float = 0.0
+    buffer_cap_samples: float = 0.0
+    base_workers: int = 1
+    priority: int = 0  # KIND_PRIORITY rank, resolved once
     live_workers: int = 0
-    pending: list[tuple[float, int]] = field(default_factory=list)  # (ready_s, count)
+    # In-flight launches, (ready_s, count), ascending ready time: new
+    # launches mature last and sheds cancel from the right, so the
+    # deque matures strictly from the left.
+    pending: deque[tuple[float, int]] = field(default_factory=deque)
+    pending_count: int = 0
     buffer_samples: float = 0.0
     last_rate: float = 0.0
 
     @property
     def total_workers(self) -> int:
         """Live plus in-flight launches (counts against the pool)."""
-        return self.live_workers + sum(count for _, count in self.pending)
+        return self.live_workers + self.pending_count
 
-    @property
-    def base_workers(self) -> int:
-        """Workers that nominally cover demand (Table 9's ratio)."""
-        return max(1, math.ceil(self.spec.demand_samples_per_s / self.worker_qps))
+    def mature_pending(self, now: float) -> int:
+        """Promote launches whose spin-up completed by *now*.
+
+        Returns how many matured (the simulator keeps fleet-wide
+        worker totals, so callers fold the count in).
+        """
+        pending = self.pending
+        if not pending:
+            return 0
+        matured = 0
+        while pending and pending[0][0] <= now:
+            matured += pending.popleft()[1]
+        if matured:
+            self.live_workers += matured
+            self.pending_count -= matured
+        return matured
+
+
+@dataclass(frozen=True)
+class _StaticArrays:
+    """Per-membership-epoch constants for the fused tick.
+
+    Everything here changes only when the active-job set changes; the
+    fused tick gathers just the dynamic quantities (live workers,
+    buffer depth, samples done) per tick.  Cache absorption is
+    membership-static too: hot fractions only move on broker
+    register/unregister, i.e. at epoch boundaries.
+    """
+
+    jobs: tuple[_ActiveJob, ...]
+    absorbed: list[float]  # per-job cache-absorbed traffic fraction
+    one_minus_absorbed: list[float]
+    qps: np.ndarray
+    demand: np.ndarray
+    cap: np.ndarray
+    rx: np.ndarray
+    target: np.ndarray
+    absorbed_arr: np.ndarray
+    one_minus_arr: np.ndarray
+    total_demand: float  # sequential sum, matching the reference accumulator
 
 
 class FleetSimulator:
-    """Discrete-event, multi-tenant datacenter-region simulator."""
+    """Discrete-event, multi-tenant datacenter-region simulator.
+
+    *fused* selects the vectorized tick (default).  ``fused=False``
+    runs the per-callback reference dynamics — same semantics, kept as
+    the equivalence baseline and for single-stepping comprehension.
+    """
 
     def __init__(
         self,
         config: FleetConfig,
         jobs: list[FleetJobSpec],
         clock: SimClock | None = None,
+        fused: bool = True,
     ) -> None:
         if not jobs:
             raise ConfigError("fleet needs at least one job")
@@ -136,6 +214,7 @@ class FleetSimulator:
             raise ConfigError("job ids must be unique")
         self.config = config
         self.clock = clock or SimClock()
+        self.fused = fused
         self.broker = StorageBroker(config.fabric)
         # One budget object serves both the allocator's worker cap
         # (when configured) and the per-tick power accounting; an
@@ -157,6 +236,16 @@ class FleetSimulator:
         self._outcomes: dict[int, JobOutcome] = {}
         self._samples: list[FleetSample] = []
         self._qps_cache: dict[str, float] = {}
+        self._fabric_bandwidth = config.fabric.total_bandwidth
+        # Fleet-wide worker totals, maintained at every mutation point
+        # (launch, maturation, shed, crash, finish) so the per-tick
+        # sample is O(1) instead of a sum over active jobs.
+        self._live_total = 0
+        self._pending_total = 0
+        # Membership-static arrays for the fused tick (rates, caps,
+        # sorted-id permutation): rebuilt only when a job is admitted
+        # or finishes, not every tick.
+        self._static: _StaticArrays | None = None
         self._chains_started = False
 
     # -- lifecycle -------------------------------------------------------------
@@ -182,15 +271,23 @@ class FleetSimulator:
             self._free_trainers -= spec.trainer_nodes
             outcome = JobOutcome(spec=spec, admitted_s=self.clock.now)
             self._outcomes[spec.job_id] = outcome
+            worker_qps = self._worker_qps(spec)
+            demand = spec.demand_samples_per_s
             job = _ActiveJob(
                 spec=spec,
                 outcome=outcome,
-                worker_qps=self._worker_qps(spec),
+                worker_qps=worker_qps,
                 controller=AutoscalingController(self.config.autoscaler),
                 requested=0,
+                demand_sps=demand,
+                rx_bytes_per_sample=spec.storage_rx_bytes_per_sample,
+                buffer_cap_samples=self.config.buffer_capacity_s * demand,
+                base_workers=max(1, math.ceil(demand / worker_qps)),
+                priority=KIND_PRIORITY[spec.kind],
             )
             job.requested = job.base_workers
             self._active[spec.job_id] = job
+            self._static = None  # membership changed
             self.broker.register(
                 spec.job_id,
                 dataset_bytes=spec.model.table_sizes.used_partitions,
@@ -205,8 +302,11 @@ class FleetSimulator:
     def _finish(self, job: _ActiveJob) -> None:
         job.outcome.completed_s = self.clock.now
         self._free_trainers += job.spec.trainer_nodes
+        self._live_total -= job.live_workers
+        self._pending_total -= job.pending_count
         self.broker.unregister(job.spec.job_id)
         del self._active[job.spec.job_id]
+        self._static = None  # membership changed
         self._admit_queued()
 
     # -- fault injection ------------------------------------------------------
@@ -226,6 +326,7 @@ class FleetSimulator:
             return 0
         died = min(count, job.live_workers)
         job.live_workers -= died
+        self._live_total -= died
         return died
 
     def degrade_storage(self, fraction: float) -> None:
@@ -238,54 +339,47 @@ class FleetSimulator:
 
     def _control(self) -> None:
         """Per-job autoscalers propose; the global allocator disposes."""
-        requests: list[WorkerRequest] = []
-        for job in self._active.values():
-            requests.append(
-                WorkerRequest(
-                    job_id=job.spec.job_id,
-                    kind=job.spec.kind,
-                    desired=self._desired_workers(job),
-                    minimum=1,
-                )
-            )
+        rows = [
+            (job.priority, job.spec.job_id, self._desired_workers(job), 1)
+            for job in self._active.values()
+        ]
         active_trainers = self.config.n_trainer_nodes - self._free_trainers
-        granted = self.allocator.allocate(requests, active_trainers, self.clock.now)
+        granted = self.allocator.allocate_compact(
+            rows, active_trainers, self.clock.now
+        )
         for job in self._active.values():
             self._apply_grant(job, granted.get(job.spec.job_id, 0))
 
     def _desired_workers(self, job: _ActiveJob) -> int:
         """Evolve the job's ask with its per-job autoscaling controller.
 
-        Telemetry maps the fluid state onto the controller's inputs:
+        The fluid state maps onto the controller's aggregate inputs:
         buffered *seconds of demand* stand in for buffered batches, and
-        achieved rate over worker capacity for CPU utilization.
+        achieved rate over worker capacity for CPU utilization.  Every
+        worker in the fluid model reports identically, so the O(1)
+        :meth:`~repro.dpp.autoscaler.AutoscalingController.evaluate_uniform`
+        replaces materializing one telemetry record per worker — the
+        old control-path hot spot.
         """
-        demand = job.spec.demand_samples_per_s
-        buffered_s = job.buffer_samples / demand
+        buffered_s = job.buffer_samples / job.demand_sps
         supply = job.live_workers * job.worker_qps
         utilization = min(1.0, job.last_rate / supply) if supply > 0 else 1.0
-        telemetry = [
-            WorkerTelemetry(
-                worker_id=f"j{job.spec.job_id}-w{i}",
-                buffered_batches=int(buffered_s),
-                cpu_utilization=utilization,
-                memory_utilization=0.0,
-                network_utilization=0.0,
-            )
-            for i in range(job.live_workers)
-        ]
-        delta = job.controller.evaluate(telemetry).delta
+        delta = job.controller.evaluate_uniform(
+            job.live_workers, int(buffered_s), utilization
+        ).delta
         ceiling = max(1, 2 * job.base_workers)
         job.requested = max(1, min(ceiling, job.requested + delta))
         return job.requested
 
     def _apply_grant(self, job: _ActiveJob, target: int) -> None:
         """Reshape a job's worker fleet toward its granted size."""
-        current = job.total_workers
+        current = job.live_workers + job.pending_count
         if target > current:
             job.pending.append(
                 (self.clock.now + self.config.pool.spinup_s, target - current)
             )
+            job.pending_count += target - current
+            self._pending_total += target - current
         elif target < current:
             shed = current - target
             # In-flight launches are cancelled first (free), then live
@@ -293,67 +387,294 @@ class FleetSimulator:
             while shed > 0 and job.pending:
                 ready, count = job.pending.pop()
                 keep = max(0, count - shed)
-                shed -= count - keep
+                removed = count - keep
+                shed -= removed
+                job.pending_count -= removed
+                self._pending_total -= removed
                 if keep:
                     job.pending.append((ready, keep))
             if shed > 0:
-                job.live_workers -= min(shed, job.live_workers)
+                drained = min(shed, job.live_workers)
+                job.live_workers -= drained
+                self._live_total -= drained
 
     # -- dynamics -------------------------------------------------------------
 
     def _tick(self) -> None:
+        """One tick of the fluid dynamics, fused or reference flavor.
+
+        Both flavors share the phase order: (1) mature in-flight
+        launches, (2) declare storage demand and apportion the fabric,
+        (3) produce/consume against each job's buffer, (4) retire jobs
+        that reached their targets, (5) sample the shared plane.
+        Completions are processed after phase 3 for every job, so one
+        job's finish (and the admission + allocation round it triggers)
+        observes a consistent post-tick fleet state in either flavor.
+        """
+        if self.fused:
+            self._tick_fused()
+        else:
+            self._tick_reference()
+
+    def _static_arrays(self) -> _StaticArrays:
+        """Resolve (or reuse) the membership-epoch constants."""
+        static = self._static
+        if static is None:
+            jobs = tuple(self._active.values())
+            n = len(jobs)
+            demand = np.fromiter((j.demand_sps for j in jobs), float, n)
+            absorbed = [
+                self.broker.cache_absorbed_fraction(j.spec.job_id) for j in jobs
+            ]
+            one_minus = [1.0 - a for a in absorbed]
+            static = _StaticArrays(
+                jobs=jobs,
+                absorbed=absorbed,
+                one_minus_absorbed=one_minus,
+                qps=np.fromiter((j.worker_qps for j in jobs), float, n),
+                demand=demand,
+                cap=np.fromiter((j.buffer_cap_samples for j in jobs), float, n),
+                rx=np.fromiter((j.rx_bytes_per_sample for j in jobs), float, n),
+                target=np.fromiter(
+                    (j.spec.target_samples for j in jobs), float, n
+                ),
+                absorbed_arr=np.asarray(absorbed),
+                one_minus_arr=np.asarray(one_minus),
+                # Matches the reference's per-tick `+=` accumulation:
+                # same operands, same order, every tick of this epoch.
+                total_demand=sum(demand.tolist()),
+            )
+            self._static = static
+        return static
+
+    def _grant_capacities(self) -> tuple[float, float]:
+        """Current per-tier deliverable bandwidth (derated)."""
+        broker = self.broker
+        derate = broker.bandwidth_derate
+        return broker._hdd_bandwidth * derate, broker._ssd_bandwidth * derate
+
+    def _tick_fused(self) -> None:
+        """Fused dynamics: one coalesced pass over all active jobs.
+
+        The per-tier apportionment is inlined (no per-job
+        :class:`~repro.fleet.broker.BandwidthGrant` objects, no
+        sorted-id permutation — ``max_min_share`` grants depend only on
+        the demand multiset, not input order), and cache absorption
+        comes from the membership-epoch constants.  Above
+        ``_VECTOR_MIN`` active jobs the pass runs as numpy array
+        operations; below it, where ufunc dispatch would dominate the
+        arithmetic, as one tight scalar loop.  Both flavors execute the
+        same IEEE-754 operations per job as :meth:`_tick_reference`, so
+        all three produce bit-identical reports.
+        """
+        now = self.clock.now
+        tick = self.config.tick_s
+        static = self._static_arrays()
+        jobs = static.jobs
+        n = len(jobs)
+        if n >= _VECTOR_MIN:
+            self._tick_vector(now, tick, static)
+            return
+
+        # Small-fleet scalar pass: phase 1 (mature) + phase 2 (declare
+        # demand) share one loop; maturation only touches the job
+        # itself, so its demand still reflects post-maturation supply
+        # exactly as in the reference's two-loop structure.
+        supplies = [0.0] * n
+        demand_bytes = [0.0] * n
+        for index, job in enumerate(jobs):
+            if job.pending:
+                matured = job.mature_pending(now)
+                self._live_total += matured
+                self._pending_total -= matured
+            supply = job.live_workers * job.worker_qps
+            supplies[index] = supply
+            wanted = (
+                supply
+                if job.buffer_samples < job.buffer_cap_samples
+                else min(supply, job.demand_sps)
+            )
+            demand_bytes[index] = wanted * job.rx_bytes_per_sample
+        total_rate = 0.0
+        granted_bps = 0.0
+        if n:
+            hdd_capacity, ssd_capacity = self._grant_capacities()
+            ssd_grants = max_min_share(
+                [d * a for d, a in zip(demand_bytes, static.absorbed)],
+                ssd_capacity,
+            )
+            hdd_grants = max_min_share(
+                [d * o for d, o in zip(demand_bytes, static.one_minus_absorbed)],
+                hdd_capacity,
+            )
+            finished: list[_ActiveJob] | None = None
+            for index, job in enumerate(jobs):
+                grant = hdd_grants[index] + ssd_grants[index]
+                rate = min(supplies[index], grant / job.rx_bytes_per_sample)
+                job.last_rate = rate
+                outcome = job.outcome
+                available = job.buffer_samples + rate * tick
+                need = min(
+                    job.demand_sps * tick,
+                    job.spec.target_samples - outcome.samples_done,
+                )
+                consumed = min(need, available)
+                if need > _EPS and consumed < need - _EPS:
+                    outcome.stall_s += tick * (1.0 - consumed / need)
+                job.buffer_samples = min(
+                    available - consumed, job.buffer_cap_samples
+                )
+                outcome.samples_done += consumed
+                outcome.worker_seconds += job.live_workers * tick
+                outcome.granted_bytes += grant * tick
+                total_rate += rate
+                granted_bps += grant
+                if outcome.samples_done >= job.spec.target_samples - _EPS:
+                    if finished is None:
+                        finished = []
+                    finished.append(job)
+            if finished:
+                for job in finished:
+                    self._finish(job)
+        self._sample(now, total_rate, static.total_demand if n else 0.0, granted_bps)
+
+    def _tick_vector(self, now: float, tick: float, static: _StaticArrays) -> None:
+        """Large-fleet flavor of the fused tick: numpy passes.
+
+        Elementwise float64 ufuncs are IEEE-identical to the scalar
+        arithmetic, and the writeback / total accumulation preserves
+        the reference's iteration order — that is what keeps the modes
+        bit-identical.
+        """
+        jobs = static.jobs
+        for job in jobs:
+            if job.pending:
+                matured = job.mature_pending(now)
+                self._live_total += matured
+                self._pending_total -= matured
+        n = len(jobs)
+
+        live = np.fromiter((j.live_workers for j in jobs), float, n)
+        buffered = np.fromiter((j.buffer_samples for j in jobs), float, n)
+        done = np.fromiter((j.outcome.samples_done for j in jobs), float, n)
+
+        # Phase 2: declared demand (refill whenever there is headroom),
+        # split per tier by cache absorption and water-filled.
+        supply = live * static.qps
+        wanted = np.where(
+            buffered < static.cap, supply, np.minimum(supply, static.demand)
+        )
+        demand_bytes = wanted * static.rx
+        hdd_capacity, ssd_capacity = self._grant_capacities()
+        ssd_grants = max_min_share(
+            (demand_bytes * static.absorbed_arr).tolist(), ssd_capacity
+        )
+        hdd_grants = max_min_share(
+            (demand_bytes * static.one_minus_arr).tolist(), hdd_capacity
+        )
+        grants = np.add(hdd_grants, ssd_grants)
+
+        # Phase 3: produce at the granted rate, consume trainer demand,
+        # accrue stalls, cap the buffer.
+        rate = np.minimum(supply, grants / static.rx)
+        available = buffered + rate * tick
+        need = np.minimum(static.demand * tick, static.target - done)
+        consumed = np.minimum(need, available)
+        new_buffer = np.minimum(available - consumed, static.cap)
+
+        grant_list = grants.tolist()
+        rate_list = rate.tolist()
+        need_list = need.tolist()
+        consumed_list = consumed.tolist()
+        buffer_list = new_buffer.tolist()
+        finished: list[_ActiveJob] = []
+        for index, job in enumerate(jobs):
+            job_rate = rate_list[index]
+            job_need = need_list[index]
+            job_consumed = consumed_list[index]
+            outcome = job.outcome
+            job.last_rate = job_rate
+            if job_need > _EPS and job_consumed < job_need - _EPS:
+                outcome.stall_s += tick * (1.0 - job_consumed / job_need)
+            job.buffer_samples = buffer_list[index]
+            outcome.samples_done += job_consumed
+            outcome.worker_seconds += job.live_workers * tick
+            outcome.granted_bytes += grant_list[index] * tick
+            if outcome.samples_done >= job.spec.target_samples - _EPS:
+                finished.append(job)
+        total_rate = sum(rate_list)
+        granted_bps = sum(grant_list)
+        for job in finished:
+            self._finish(job)
+
+        self._sample(now, total_rate, static.total_demand, granted_bps)
+
+    def _tick_reference(self) -> None:
+        """Per-callback dynamics: one Python pass per phase, per job.
+
+        This is the pre-fusion structure — the equivalence baseline the
+        vectorized tick is tested against byte for byte.
+        """
         now = self.clock.now
         tick = self.config.tick_s
         for job in self._active.values():
-            ready = sum(count for when, count in job.pending if when <= now)
-            job.pending = [(when, count) for when, count in job.pending if when > now]
-            job.live_workers += ready
+            matured = job.mature_pending(now)
+            self._live_total += matured
+            self._pending_total -= matured
 
         # Declare storage demand: workers refill buffers whenever there
         # is headroom, so demand reflects what the job *could* read.
         demands: dict[int, float] = {}
         for job_id, job in self._active.items():
             supply = job.live_workers * job.worker_qps
-            cap = self.config.buffer_capacity_s * job.spec.demand_samples_per_s
+            cap = job.buffer_cap_samples
             wanted = supply if job.buffer_samples < cap else min(
-                supply, job.spec.demand_samples_per_s
+                supply, job.demand_sps
             )
-            demands[job_id] = wanted * job.spec.storage_rx_bytes_per_sample
+            demands[job_id] = wanted * job.rx_bytes_per_sample
         grants = self.broker.apportion(demands) if demands else {}
 
         total_rate = 0.0
         total_demand = 0.0
         granted_bps = 0.0
-        for job_id, job in list(self._active.items()):
+        finished: list[_ActiveJob] = []
+        for job_id, job in self._active.items():
             spec = job.spec
             grant = grants[job_id]
             supply = job.live_workers * job.worker_qps
             rate = min(
-                supply, grant.total_bytes_per_s / spec.storage_rx_bytes_per_sample
+                supply, grant.total_bytes_per_s / job.rx_bytes_per_sample
             )
             job.last_rate = rate
             produced = rate * tick
             available = job.buffer_samples + produced
             need = min(
-                spec.demand_samples_per_s * tick,
+                job.demand_sps * tick,
                 spec.target_samples - job.outcome.samples_done,
             )
             consumed = min(need, available)
             if need > _EPS and consumed < need - _EPS:
                 job.outcome.stall_s += tick * (1.0 - consumed / need)
-            cap = self.config.buffer_capacity_s * spec.demand_samples_per_s
-            job.buffer_samples = min(available - consumed, cap)
+            job.buffer_samples = min(available - consumed, job.buffer_cap_samples)
             job.outcome.samples_done += consumed
             job.outcome.worker_seconds += job.live_workers * tick
             job.outcome.granted_bytes += grant.total_bytes_per_s * tick
             total_rate += rate
-            total_demand += spec.demand_samples_per_s
+            total_demand += job.demand_sps
             granted_bps += grant.total_bytes_per_s
             if job.outcome.samples_done >= spec.target_samples - _EPS:
-                self._finish(job)
+                finished.append(job)
+        for job in finished:
+            self._finish(job)
 
-        live = sum(j.live_workers for j in self._active.values())
-        pending = sum(j.total_workers - j.live_workers for j in self._active.values())
+        self._sample(now, total_rate, total_demand, granted_bps)
+
+    def _sample(
+        self, now: float, total_rate: float, total_demand: float, granted_bps: float
+    ) -> None:
+        """Record one tick's observation of the shared plane."""
+        live = self._live_total
+        pending = self._pending_total
         active_trainers = self.config.n_trainer_nodes - self._free_trainers
         power = self._power_meter.draw_watts(active_trainers, live + pending)
         self._samples.append(
@@ -366,7 +687,7 @@ class FleetSimulator:
                 supply_samples_per_s=total_rate,
                 demand_samples_per_s=total_demand,
                 granted_bytes_per_s=granted_bps,
-                storage_utilization=granted_bps / self.config.fabric.total_bandwidth,
+                storage_utilization=granted_bps / self._fabric_bandwidth,
                 power_watts=power,
             )
         )

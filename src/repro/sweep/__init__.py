@@ -1,0 +1,36 @@
+"""Parallel scenario sweeps over the fleet simulation plane.
+
+One fleet run answers one question; the paper's provisioning arguments
+(Sections 4 and 7) are *distributions* — how do tail queue delays,
+stall fractions, and power peaks move across seeds, workload mixes,
+fault storms, and fabric shapes?  This package turns the fleet
+simulator into that instrument:
+
+* :class:`ScenarioGrid` (:mod:`grid`) expands seeds × mixes × configs ×
+  fault schedules into picklable :class:`ScenarioSpec`\\ s with
+  deterministic per-scenario seeding;
+* :class:`SweepRunner` (:mod:`runner`) fans the specs across worker
+  processes (or runs them inline) and reduces each run to a compact
+  :class:`ScenarioResult`;
+* :class:`SweepReport` (:mod:`report`) aggregates results into
+  percentile surfaces per grid cell and serializes to/from JSON.
+
+``python -m repro.sweep`` is the CLI face: grid spec via JSON or
+flags, ``--jobs N`` process fan-out, a ``SweepReport`` JSON artifact
+out.
+"""
+
+from .grid import ScenarioGrid, ScenarioSpec, grid_from_json
+from .report import CELL_METRICS, ScenarioResult, SweepReport
+from .runner import SweepRunner, run_scenario_spec
+
+__all__ = [
+    "CELL_METRICS",
+    "ScenarioGrid",
+    "ScenarioResult",
+    "ScenarioSpec",
+    "SweepReport",
+    "SweepRunner",
+    "grid_from_json",
+    "run_scenario_spec",
+]

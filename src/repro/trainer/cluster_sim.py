@@ -88,7 +88,25 @@ def simulate_cluster(
     sync = config.sync_time_s
     ideal_iteration = compute + sync
 
-    clock = clock or SimClock()
+    if clock is None:
+        # Private-clock fast path: with no co-simulated processes to
+        # interleave, the event chain is strictly sequential, so the
+        # same iteration times accumulate in a plain loop — identical
+        # RNG draws, identical totals, no heap churn.  This is the path
+        # `supply_for_efficiency` hammers (40 binary-search probes).
+        inv_rates = 1.0 / rates
+        total_time = 0.0
+        total_wait = 0.0
+        for _ in range(n_iterations):
+            waits = rng.exponential(inv_rates)
+            data_wait = float(np.max(np.maximum(waits - ideal_iteration, 0.0)))
+            total_wait += data_wait
+            total_time += ideal_iteration + data_wait
+        return ClusterThroughput(
+            iterations_per_s=n_iterations / total_time,
+            ideal_iterations_per_s=1.0 / ideal_iteration,
+            stall_fraction=total_wait / total_time,
+        )
     start = clock.now
     state = {"remaining": n_iterations, "wait": 0.0, "end": start}
 

@@ -308,3 +308,83 @@ class TestStep:
         clock.schedule(2.0, lambda: fired.append(2))
         assert clock.step() is True
         assert fired == [1]
+
+
+class TestLazyDeletionCompaction:
+    def test_cancel_heavy_workload_compacts_heap(self):
+        # Cancelling most of a large schedule must shrink the physical
+        # heap (lazy deletion + compaction), not just mark corpses.
+        clock = SimClock()
+        handles = [clock.schedule(float(i + 1), lambda: None) for i in range(1000)]
+        for handle in handles[:900]:
+            handle.cancel()
+        assert clock.pending == 100
+        assert len(clock._heap) < 500  # compaction ran
+        assert clock.run() == 100
+
+    def test_compaction_preserves_order_and_counts(self):
+        clock = SimClock()
+        fired = []
+        keepers = []
+        for i in range(500):
+            handle = clock.schedule(float(i), lambda i=i: fired.append(i))
+            if i % 5:
+                handle.cancel()
+            else:
+                keepers.append(i)
+        assert clock.run() == len(keepers)
+        assert fired == keepers
+
+    def test_compaction_mid_run_from_callback(self):
+        # A callback cancelling en masse triggers compaction while the
+        # drain loop holds its alias to the heap list.
+        clock = SimClock()
+        fired = []
+        victims = [clock.schedule(10.0 + i, lambda: fired.append("victim"))
+                   for i in range(200)]
+        clock.schedule(1.0, lambda: [v.cancel() for v in victims])
+        clock.schedule(300.0, lambda: fired.append("survivor"))
+        clock.run()
+        assert fired == ["survivor"]
+
+    def test_slot_reuse_does_not_cross_cancel(self):
+        # A stale handle must not cancel the unrelated event that later
+        # recycled its slot.
+        clock = SimClock()
+        fired = []
+        stale = clock.schedule(1.0, lambda: fired.append("first"))
+        clock.run()
+        clock.schedule(1.0, lambda: fired.append("second"))  # reuses the slot
+        stale.cancel()  # no-op: its event already fired
+        clock.run()
+        assert fired == ["first", "second"]
+
+
+class TestFiredCounter:
+    def test_counts_across_drivers(self):
+        clock = SimClock()
+        for i in range(3):
+            clock.schedule(float(i + 1), lambda: None)
+        clock.step()
+        assert clock.fired == 1
+        clock.run_until(2.0)
+        assert clock.fired == 2
+        clock.run()
+        assert clock.fired == 3
+
+    def test_cancelled_events_not_counted(self):
+        clock = SimClock()
+        clock.schedule(1.0, lambda: None).cancel()
+        clock.schedule(2.0, lambda: None)
+        clock.run()
+        assert clock.fired == 1
+
+    def test_run_with_corpses_at_max_events_boundary(self):
+        # Cancelled corpses below the compaction threshold outlast the
+        # last live event; run() must not mistake them for livelock.
+        clock = SimClock()
+        for i in range(5):
+            clock.schedule(float(i + 1), lambda: None)
+        clock.schedule(10.0, lambda: None).cancel()
+        assert clock.run(max_events=5) == 5
+        assert clock.pending == 0

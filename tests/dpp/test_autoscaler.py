@@ -91,3 +91,57 @@ class TestTelemetry:
     def test_max_utilization(self):
         report = WorkerTelemetry("w", 1, 0.3, 0.8, 0.5)
         assert report.max_utilization == 0.8
+
+
+class TestUniformEvaluation:
+    """evaluate_uniform == evaluate over n identical reports."""
+
+    def uniform(self, n, buffered, utilization):
+        return [
+            WorkerTelemetry(
+                worker_id=f"w{i}",
+                buffered_batches=buffered,
+                cpu_utilization=utilization,
+                memory_utilization=0.0,
+                network_utilization=0.0,
+            )
+            for i in range(n)
+        ]
+
+    @pytest.mark.parametrize(
+        "n,buffered,utilization",
+        [
+            (1, 0, 0.9),   # buffers dry: launch
+            (4, 0, 0.9),
+            (8, 3, 0.6),   # in band: hold
+            (6, 10, 0.2),  # full and idle: drain
+            (1, 10, 0.2),  # full and idle but at the floor: hold
+            (150, 2, 1.0),
+        ],
+    )
+    def test_matches_per_worker_evaluation(self, n, buffered, utilization):
+        listwise = AutoscalingController().evaluate(
+            self.uniform(n, buffered, utilization)
+        )
+        aggregate = AutoscalingController().evaluate_uniform(
+            n, buffered, utilization
+        )
+        assert aggregate.delta == listwise.delta
+        assert aggregate.action == listwise.action
+
+    def test_zero_workers_matches_empty_telemetry(self):
+        listwise = AutoscalingController().evaluate([])
+        aggregate = AutoscalingController().evaluate_uniform(0, 0, 0.0)
+        assert aggregate == listwise
+
+    def test_decisions_recorded_by_uniform_path(self):
+        controller = AutoscalingController()
+        controller.evaluate_uniform(4, 0, 0.9)
+        controller.evaluate_uniform(4, 3, 0.9)
+        controller.evaluate_uniform(4, 3, 0.9)
+        assert len(controller.decisions) == 3
+        assert [d.action for d in controller.decisions] == [
+            "launch",
+            "hold",
+            "hold",
+        ]
