@@ -231,7 +231,7 @@ def bench_fleet(repeats: int = 3) -> list[Metric]:
 
 def bench_sweep(repeats: int = 1) -> list[Metric]:
     """Scenario-sweep throughput: grid fan-out across processes."""
-    from repro.sweep import ScenarioGrid, SweepRunner
+    from repro.experiments import ScenarioGrid, SweepRunner
     from repro.fleet import FleetConfig, FleetMix, PoolConfig, StorageFabric
 
     grid = ScenarioGrid(
@@ -317,14 +317,60 @@ def compare_against_baseline(
     for name, entry in sorted(recorded.items()):
         if name not in fresh:
             continue  # retired metric: the baseline refresh removes it
-        old = entry["value"]
-        new = fresh[name]["value"]
+        old = entry.get("value")
+        new = fresh[name].get("value")
+        if old is None or new is None:
+            continue  # malformed entry: informational in the delta table
         if old > 0 and new < old * (1.0 - tolerance):
             problems.append(
-                f"{name}: {new:,.1f} {fresh[name]['unit']} is "
+                f"{name}: {new:,.1f} {fresh[name].get('unit', '')} is "
                 f"{(1.0 - new / old):.0%} below baseline {old:,.1f}"
             )
     return problems
+
+
+def delta_table(payload: dict, baseline: dict) -> list[str]:
+    """Per-metric delta lines over the *union* of both metric sets.
+
+    Metrics on one side only never fail anything — they render as
+    informational ``new (no baseline)`` / ``retired`` rows, so a
+    freshly added benchmark cannot hard-fail ``--check`` against a
+    baseline that predates it.
+    """
+    fresh = payload.get("metrics", {})
+    recorded = baseline.get("metrics", {})
+    names = sorted(set(fresh) | set(recorded))
+    if not names:
+        return ["  (no metrics on either side)"]
+    width = max(len(name) for name in names)
+    lines = []
+    for name in names:
+        new = fresh.get(name, {}).get("value")
+        old = recorded.get(name, {}).get("value")
+        unit = fresh.get(name, {}).get("unit") or recorded.get(name, {}).get(
+            "unit", ""
+        )
+        if new is None and old is None:
+            lines.append(
+                f"  {name:<{width}}  (no value recorded on either side)"
+            )
+        elif new is None:
+            lines.append(
+                f"  {name:<{width}}  {'-':>14}  vs {old:>14,.1f} {unit:<12} "
+                "retired (not measured this run)"
+            )
+        elif old is None:
+            lines.append(
+                f"  {name:<{width}}  {new:>14,.1f}  {unit:<12} "
+                "new (no baseline yet — informational)"
+            )
+        else:
+            delta = (new - old) / old if old else float("nan")
+            lines.append(
+                f"  {name:<{width}}  {new:>14,.1f}  vs {old:>14,.1f} "
+                f"{unit:<12} {delta:+.1%}"
+            )
+    return lines
 
 
 def check(
@@ -348,6 +394,9 @@ def check(
         print(f"no baseline at {baseline_path}; skipping regression gate")
         return 0
     baseline = json.loads(baseline_path.read_text())
+    print(f"deltas versus {baseline_path}:")
+    for line in delta_table(payload, baseline):
+        print(line)
     problems = compare_against_baseline(payload, baseline, tolerance)
     if problems:
         print(f"PERF REGRESSION versus {baseline_path} (>{tolerance:.0%}):")

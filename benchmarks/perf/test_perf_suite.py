@@ -13,7 +13,12 @@ payloads, where it cannot flake on machine speed.
 
 import json
 
-from .harness import REGRESSION_TOLERANCE, compare_against_baseline, run_all
+from .harness import (
+    REGRESSION_TOLERANCE,
+    compare_against_baseline,
+    delta_table,
+    run_all,
+)
 
 REQUIRED_METRICS = {
     "seal_mb_per_s",
@@ -76,3 +81,30 @@ class TestRegressionGate:
         fresh = _payload(a=100.0)
         baseline = _payload(a=100.0, retired=50.0)
         assert compare_against_baseline(fresh, baseline) == []
+
+    def test_malformed_entries_do_not_fail_the_gate(self):
+        fresh = {"metrics": {"a": {"unit": "x/s"}}}  # no "value"
+        baseline = _payload(a=100.0)
+        assert compare_against_baseline(fresh, baseline) == []
+
+
+class TestDeltaTable:
+    def test_union_with_new_and_retired_markers(self):
+        fresh = _payload(a=90.0, brand_new=5.0)
+        baseline = _payload(a=100.0, retired=2.0)
+        lines = "\n".join(delta_table(fresh, baseline))
+        assert "-10.0%" in lines
+        assert "new (no baseline" in lines
+        assert "retired" in lines
+
+    def test_malformed_entries_are_informational_not_crashes(self):
+        # A metrics entry missing "value" on either (or both) sides must
+        # render, never raise — the same promise --check makes.
+        fresh = {"metrics": {"x": {"unit": "s"}, "y": {"value": 1.0, "unit": "s"}}}
+        baseline = {"metrics": {"x": {"unit": "s"}}}
+        lines = delta_table(fresh, baseline)
+        assert any("no value recorded" in line for line in lines)
+        assert any("new (no baseline" in line for line in lines)
+
+    def test_empty_sides_render(self):
+        assert delta_table({}, {}) == ["  (no metrics on either side)"]

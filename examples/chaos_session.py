@@ -1,97 +1,61 @@
-"""Chaos: a DPP session surviving crashes, drains, and failovers.
+"""Chaos: DPP sessions surviving crashes, drains, and failovers.
 
-Publishes a synthetic table, then runs the same session three times
-under increasingly hostile fault schedules — a scripted worst-case, a
-master-restart drill with 50% row sampling, and a seeded random sweep —
-and checks the delivery invariants after each: every sampled row
-reaches a client exactly once (at-least-once where crashes legitimately
-replay), nothing is stranded in dead or drained worker buffers, and
-restored masters agree byte-for-byte with their checkpoints.
+The chaos drills live in the scenario registry
+(`python -m repro.experiments list --kind chaos`), so this example is
+registry-driven: each named scenario publishes its own synthetic
+table, builds a session over it, drives it through its fault schedule
+with `ChaosRunner`, and checks the delivery invariants — every sampled
+row reaches a client exactly once (at-least-once where crashes
+legitimately replay), nothing is stranded in dead or drained worker
+buffers, and restored masters agree byte-for-byte with their
+checkpoints.
+
+Scenarios toured here:
+
+* ``chaos/worst-case`` — a worker dies mid-split, a second is
+  gracefully drained under load, the master fails over, then another
+  worker crashes with a full buffer;
+* ``chaos/restart-drill`` — two master restarts at 50% row sampling:
+  the rebuilt master must replan the *identical* sampled split set
+  (what the salted builtin ``hash()`` used to break) and agree with
+  its checkpoint byte-for-byte;
+* ``chaos/backlogged-crash`` — slow trainers keep buffers backlogged,
+  so crashes strand completed-but-partially-served splits: replays
+  happen (at-least-once), losses never;
+* ``chaos/seeded`` — five random faults drawn from each seed.
 
 Run:  python examples/chaos_session.py
 """
 
-from repro.chaos import ChaosRunner, FaultEvent, FaultKind, FaultSchedule, seeded_schedule
-from repro.dpp import DppSession, SessionSpec
-from repro.dwrf import EncodingOptions
-from repro.tectonic import TectonicFilesystem
-from repro.transforms import FirstX, Logit, SigridHash, TransformDag
-from repro.warehouse import DatasetProfile, SampleGenerator, Table, publish_table
+from repro.experiments import build_scenario
 
-
-def publish():
-    profile = DatasetProfile(n_dense=12, n_sparse=6, n_scored=1,
-                             avg_coverage=0.5, avg_sparse_length=8.0)
-    generator = SampleGenerator(profile, seed=7)
-    schema = generator.build_schema("chaos_table")
-    table = Table(schema)
-    generator.populate_table(table, ["2026-07-01", "2026-07-02"], 512)
-    filesystem = TectonicFilesystem(n_nodes=6)
-    footers = publish_table(filesystem, table, EncodingOptions(stripe_rows=64))
-    return filesystem, schema, footers, table
-
-
-def make_session(filesystem, schema, footers, table, row_sample_rate=1.0):
-    dense_ids = [s.feature_id for s in schema if s.name.startswith("dense_")][:3]
-    sparse_ids = [s.feature_id for s in schema if s.name.startswith("sparse_")][:2]
-    dag = TransformDag()
-    dag.add(900, Logit(dense_ids[0]))
-    dag.add(901, FirstX(sparse_ids[0], 8))
-    dag.add(902, SigridHash(901, 10_000))
-    spec = SessionSpec(
-        table_name=table.name,
-        partitions=tuple(table.partition_names()),
-        projection=frozenset(dense_ids + sparse_ids),
-        dag=dag,
-        output_ids=(900, 902),
-        batch_size=64,
-        row_sample_rate=row_sample_rate,
-    )
-    return DppSession(spec, filesystem, schema, footers, n_workers=4, n_clients=2)
+SCRIPTED = ("chaos/worst-case", "chaos/restart-drill", "chaos/backlogged-crash")
 
 
 def main() -> None:
-    filesystem, schema, footers, table = publish()
-    print(f"published {table.total_rows()} rows; chaos time.\n")
-
-    # Scenario 1 — the scripted worst case: a worker dies mid-split, a
-    # second is gracefully drained under load, the master fails over,
-    # then another worker crashes with a full buffer.
-    session = make_session(filesystem, schema, footers, table)
-    schedule = FaultSchedule([
-        FaultEvent(1, FaultKind.WORKER_CRASH_MID_SPLIT),
-        FaultEvent(2, FaultKind.WORKER_DRAIN),
-        FaultEvent(3, FaultKind.MASTER_FAILOVER),
-        FaultEvent(4, FaultKind.WORKER_CRASH),
-    ])
-    report = ChaosRunner(session, schedule, scenario="worst-case").run()
-    print(report.describe(), "\n")
-
-    # Scenario 2 — restart drill at 50% row sampling: the rebuilt
-    # master must replan the identical sampled split set (this is what
-    # the salted builtin hash() used to break) and agree byte-for-byte
-    # with its checkpoint.
-    session = make_session(filesystem, schema, footers, table, row_sample_rate=0.5)
-    schedule = FaultSchedule([
-        FaultEvent(1, FaultKind.MASTER_RESTART),
-        FaultEvent(3, FaultKind.MASTER_RESTART),
-    ])
-    report = ChaosRunner(session, schedule, scenario="restart-drill@0.5").run()
-    print(report.describe(), "\n")
-
-    # Scenario 3 — seeded sweep: five random fault mixes.
-    for seed in range(5):
-        session = make_session(filesystem, schema, footers, table)
-        runner = ChaosRunner(
-            session, seeded_schedule(seed, n_faults=5, max_round=8),
-            scenario=f"seeded-{seed}", seed=seed,
-        )
-        report = runner.run()
-        status = "PASS" if report.ok else "FAIL"
-        print(f"seeded-{seed}: {status}  "
-              f"delivered={report.delivered_batches}/{report.expected_batches} "
-              f"replayed={report.replayed_batches}")
+    for name in SCRIPTED:
+        report = build_scenario(name, seed=0).run()
+        print(report.describe(), "\n")
         assert report.ok, report.describe()
+
+    # The seeded sweep: same scenario, five random fault mixes.
+    for seed in range(5):
+        report = build_scenario("chaos/seeded", seed=seed).run()
+        status = "PASS" if report.ok else "FAIL"
+        print(
+            f"chaos/seeded seed{seed}: {status}  "
+            f"delivered={report.delivered_batches}/{report.expected_batches} "
+            f"replayed={report.replayed_batches}"
+        )
+        assert report.ok, report.describe()
+
+    # Every chaos report speaks the shared telemetry schema — archive
+    # one and revive it kind-agnostically.
+    from repro.common import report_from_json
+
+    report = build_scenario("chaos/worst-case", seed=1).run()
+    assert report_from_json(report.to_json()).to_json() == report.to_json()
+    print("\nreport JSON round-trip: ok")
 
 
 if __name__ == "__main__":

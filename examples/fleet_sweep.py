@@ -5,25 +5,48 @@ of the paper) are about *distributions* — how do throughput, stalls,
 and tail queue delays move across arrival seeds when the region gets
 busier, or when a fault storm hits mid-window?
 
-This example sweeps a seed x mix x faults grid through
-:mod:`repro.sweep`: 3 workload mixes x 2 fault schedules x 6 seeds =
-36 fleet simulations, fanned across worker processes, aggregated into
-percentile surfaces per grid cell.  The output table reads like the
-paper's fleet-level figures: the busy mix saturates shared storage and
-drags p50 throughput down while the fault storm mostly widens the
-stall tail.
+Part 1 uses the **scenario registry**: every registered fleet scenario
+(`python -m repro.experiments list --kind fleet`) runs across three
+seeds through the generic `ExperimentRunner` — the one-liner entry
+point any experiment in this repo now has.
+
+Part 2 builds a custom `ScenarioGrid` (3 workload mixes x 2 fault
+schedules x 6 seeds = 36 fleet simulations), fans it across worker
+processes with `SweepRunner`, and aggregates percentile surfaces per
+grid cell.  The output table reads like the paper's fleet-level
+figures: the busy mix saturates shared storage and drags p50
+throughput down while the fault storm mostly widens the stall tail.
 
 Run:  python examples/fleet_sweep.py
 """
 
 from repro.chaos.faults import FaultEvent, FaultKind
+from repro.experiments import (
+    ExperimentRunner,
+    ScenarioGrid,
+    SweepRunner,
+    build_scenario,
+    list_scenarios,
+)
 from repro.fleet import FleetConfig, FleetMix, PoolConfig, StorageFabric
-from repro.sweep import ScenarioGrid, SweepRunner
 
 SEEDS = tuple(range(6))
 
 
-def main() -> None:
+def registry_tour() -> None:
+    """Every registered fleet scenario, three seeds each."""
+    batch = [
+        entry.build(seed)
+        for entry in list_scenarios(kind="fleet")
+        for seed in (0, 1, 2)
+    ]
+    report = ExperimentRunner(batch, jobs=4).run("registry-fleet-tour")
+    print(report.render())
+    print()
+
+
+def custom_grid_sweep() -> None:
+    """A hand-built mix x faults grid with percentile surfaces."""
     region = FleetConfig(
         fabric=StorageFabric(n_hdd_nodes=40, n_ssd_cache_nodes=4),
         n_trainer_nodes=32,
@@ -60,6 +83,19 @@ def main() -> None:
     for cell, entry in stall.items():
         shown = "-" if entry["p90"] != entry["p90"] else f"{entry['p90']:.1%}"
         print(f"  {cell:24s} {shown}")
+
+
+def main() -> None:
+    registry_tour()
+    custom_grid_sweep()
+
+    # Spot-check the registry one level deeper: a single scenario is
+    # one call, and its report speaks the shared telemetry schema.
+    report = build_scenario("fleet/storm", seed=0).run()
+    print(
+        "\nfleet/storm seed0 metrics:",
+        {k: round(v, 3) for k, v in list(report.metrics().items())[:4]},
+    )
 
 
 if __name__ == "__main__":

@@ -3,8 +3,10 @@
 from __future__ import annotations
 
 from collections import Counter
-from dataclasses import dataclass, field
+from dataclasses import asdict, dataclass, field
 
+from ..common.errors import DppError
+from ..common.serialization import ReportBase, require_keys
 from .invariants import Violation
 
 
@@ -20,8 +22,10 @@ class DeliveryRecord:
 
 
 @dataclass
-class ChaosReport:
+class ChaosReport(ReportBase):
     """Outcome of one chaos scenario run."""
+
+    report_kind = "chaos"
 
     scenario: str
     rounds: int
@@ -51,6 +55,85 @@ class ChaosReport:
     def rows_delivered(self) -> int:
         """Total rows across all deliveries."""
         return sum(r.n_rows for r in self.records)
+
+    # -- shared telemetry surface ----------------------------------------------
+
+    def payload(self) -> dict:
+        return {
+            "scenario": self.scenario,
+            "rounds": self.rounds,
+            "allow_replays": self.allow_replays,
+            "expected_batches": self.expected_batches,
+            "faults_injected": list(self.faults_injected),
+            "records": [asdict(record) for record in self.records],
+            "violations": [asdict(violation) for violation in self.violations],
+        }
+
+    @classmethod
+    def from_payload(cls, payload: dict) -> "ChaosReport":
+        require_keys(
+            payload,
+            required=(
+                "scenario",
+                "rounds",
+                "allow_replays",
+                "expected_batches",
+                "faults_injected",
+                "records",
+                "violations",
+            ),
+            context="chaos report",
+        )
+        records = []
+        for row in payload["records"]:
+            require_keys(
+                row,
+                required=("round_index", "client_id", "split_id", "sequence", "n_rows"),
+                context="chaos delivery record",
+            )
+            records.append(DeliveryRecord(**row))
+        violations = []
+        for row in payload["violations"]:
+            require_keys(
+                row, required=("invariant", "detail"), context="chaos violation"
+            )
+            violations.append(Violation(**row))
+        return cls(
+            scenario=payload["scenario"],
+            rounds=int(payload["rounds"]),
+            allow_replays=bool(payload["allow_replays"]),
+            faults_injected=list(payload["faults_injected"]),
+            records=records,
+            violations=violations,
+            expected_batches=int(payload["expected_batches"]),
+        )
+
+    def metrics(self) -> dict[str, float]:
+        return {
+            "chaos.rounds": float(self.rounds),
+            "chaos.expected_batches": float(self.expected_batches),
+            "chaos.delivered_batches": float(self.delivered_batches),
+            "chaos.replayed_batches": float(self.replayed_batches),
+            "chaos.rows_delivered": float(self.rows_delivered),
+            "chaos.faults_injected": float(len(self.faults_injected)),
+            "chaos.violations": float(len(self.violations)),
+        }
+
+    def merge(self, other: "ReportBase") -> "ChaosReport":
+        """Fold another scenario's run in (a chaos *session* view):
+        deliveries, faults, violations, and obligations accumulate;
+        replay tolerance widens to the union."""
+        if not isinstance(other, ChaosReport):
+            raise DppError("can only merge ChaosReport into ChaosReport")
+        if other.scenario != self.scenario:
+            self.scenario = f"{self.scenario}+{other.scenario}"
+        self.rounds += other.rounds
+        self.allow_replays = self.allow_replays or other.allow_replays
+        self.faults_injected.extend(other.faults_injected)
+        self.records.extend(other.records)
+        self.violations.extend(other.violations)
+        self.expected_batches += other.expected_batches
+        return self
 
     def describe(self) -> str:
         """Multi-line human-readable summary."""

@@ -1,0 +1,382 @@
+"""Shared report telemetry: one JSON dialect, one report base class.
+
+Before this module every report in the repo hand-rolled its own
+serialization (or had none): ``SweepReport`` carried private
+``to_json``/``from_json`` helpers, ``FleetReport`` and ``ChaosReport``
+only rendered text, and the analytical reports were plain dataclasses.
+This module is the single place those conventions live:
+
+* **The JSON dialect** — stable key order, two-space indent, trailing
+  newline, strict JSON (``allow_nan=False``).  Non-finite floats are
+  encoded losslessly: ``nan`` → ``null``, ``inf`` → ``"Infinity"``,
+  ``-inf`` → ``"-Infinity"`` (:func:`null_specials` on the way out,
+  :func:`revive_float` / :func:`revive_floats` on the way in).
+* **Strict loading** — :func:`require_keys` rejects unknown keys with a
+  clear error instead of silently dropping them, so a typo'd artifact
+  or a version skew fails loudly at load time.
+* **:class:`ReportBase`** — uniform ``to_json``/``from_json``/
+  ``write``/``read``, uniform metric naming (``<kind>.<metric>``,
+  snake_case) via :meth:`ReportBase.metrics`, percentile summaries via
+  :func:`percentile_summary`, and generic :meth:`ReportBase.diff` plus
+  accumulate-style :meth:`ReportBase.merge`.  Every subclass registers
+  its ``report_kind`` automatically, so :func:`report_from_json` can
+  revive *any* archived report without knowing its type up front.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import pathlib
+from typing import Any, ClassVar, Iterable, Mapping
+
+from .errors import FormatError, ReproError
+
+#: Bumped when the shared payload envelope changes shape.
+REPORT_SCHEMA_VERSION = 1
+
+#: The percentile levels every report summary exposes, and their keys.
+SUMMARY_PERCENTILES = (50.0, 90.0, 100.0)
+
+#: report_kind -> ReportBase subclass, filled by ``__init_subclass__``.
+_REPORT_KINDS: dict[str, type["ReportBase"]] = {}
+
+
+# -- the JSON dialect ----------------------------------------------------------
+
+
+def dump_json(payload: Mapping[str, Any]) -> str:
+    """Serialize a payload in the repo's one diff-friendly JSON dialect."""
+    # Specials were encoded by null_specials; allow_nan=False guards the
+    # strict-JSON promise against future fields sneaking raw NaN in.
+    return json.dumps(payload, indent=2, sort_keys=True, allow_nan=False) + "\n"
+
+
+def load_json(text: str) -> dict:
+    """Parse JSON text into a payload dict, with a clear failure mode."""
+    try:
+        payload = json.loads(text)
+    except json.JSONDecodeError as error:
+        raise FormatError(f"report is not valid JSON: {error}") from error
+    if not isinstance(payload, dict):
+        raise FormatError(
+            f"report payload must be a JSON object, got {type(payload).__name__}"
+        )
+    return payload
+
+
+def null_specials(value: Any) -> Any:
+    """Recursively encode non-finite floats for strict JSON.
+
+    ``nan`` → ``None`` and ``±inf`` → ``"Infinity"``/``"-Infinity"``;
+    containers are rebuilt (tuples become lists, as JSON demands).
+    """
+    if isinstance(value, float):
+        if math.isnan(value):
+            return None
+        if math.isinf(value):
+            return "Infinity" if value > 0 else "-Infinity"
+        return value
+    if isinstance(value, dict):
+        return {key: null_specials(item) for key, item in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [null_specials(item) for item in value]
+    return value
+
+
+def revive_float(value: Any) -> float:
+    """Decode one float slot written by :func:`null_specials`."""
+    if value is None:
+        return math.nan
+    if value == "Infinity":
+        return math.inf
+    if value == "-Infinity":
+        return -math.inf
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        raise FormatError(f"expected a float slot, got {value!r}")
+    return float(value)
+
+
+def revive_floats(row: Mapping[str, Any], float_fields: Iterable[str]) -> dict:
+    """Copy *row* with the named fields decoded via :func:`revive_float`.
+
+    Fields absent from *row* are left absent — pair with
+    :func:`require_keys` for presence checking.
+    """
+    revived = dict(row)
+    for name in float_fields:
+        if name in revived:
+            revived[name] = revive_float(revived[name])
+    return revived
+
+
+def require_keys(
+    row: Mapping[str, Any],
+    required: Iterable[str],
+    optional: Iterable[str] = (),
+    context: str = "payload",
+) -> None:
+    """Strict key validation: reject unknown and missing keys loudly."""
+    have = set(row)
+    want = set(required)
+    allowed = want | set(optional)
+    unknown = have - allowed
+    if unknown:
+        raise FormatError(
+            f"{context}: unknown key(s) {sorted(unknown)}; "
+            f"expected {sorted(allowed)}"
+        )
+    missing = want - have
+    if missing:
+        raise FormatError(f"{context}: missing required key(s) {sorted(missing)}")
+
+
+# -- tagged envelopes ----------------------------------------------------------
+#
+# Reports and scenarios both archive as tag-dispatched JSON objects
+# (``{"report": kind, "version": N, ...}`` / ``{"scenario": kind,
+# ...}``).  These two helpers are the single implementation of that
+# envelope shape; the tag key is the only difference between the two
+# planes.
+
+
+def build_envelope(
+    tag_key: str, tag: str, version: int, body: Mapping[str, Any]
+) -> dict:
+    """Wrap a payload body in its kind/version envelope (strictly)."""
+    for reserved in (tag_key, "version"):
+        if reserved in body:
+            raise FormatError(
+                f"{tag} payload may not use the reserved key {reserved!r}"
+            )
+    return {tag_key: tag, "version": version, **body}
+
+
+def split_envelope(
+    payload: Mapping[str, Any], tag_key: str, supported_version: int
+) -> tuple[str | None, dict]:
+    """Pop the tag and version off an envelope; gate the version."""
+    body = dict(payload)
+    tag = body.pop(tag_key, None)
+    version = body.pop("version", supported_version)
+    if version != supported_version:
+        raise FormatError(
+            f"{tag_key} schema version {version!r} is not supported "
+            f"(this build reads version {supported_version})"
+        )
+    return tag, body
+
+
+# -- percentile summaries ------------------------------------------------------
+
+
+def percentile(values: list[float], q: float) -> float:
+    """Ceiling-index percentile — the repo's tail convention: small
+    populations report their worst value rather than interpolating the
+    tail away.  ``nan`` on an empty population."""
+    if not values:
+        return math.nan
+    ranked = sorted(values)
+    return ranked[math.ceil(q / 100.0 * (len(ranked) - 1))]
+
+
+def percentile_summary(values: Iterable[float]) -> dict[str, float]:
+    """The uniform ``{"p50", "p90", "p100", "mean"}`` summary block.
+
+    ``nan`` observations are skipped (metrics can be undefined for some
+    runs); an all-``nan`` or empty population summarizes to ``nan``.
+    """
+    finite = [v for v in values if not math.isnan(v)]
+    summary = {f"p{q:.0f}": percentile(finite, q) for q in SUMMARY_PERCENTILES}
+    summary["mean"] = sum(finite) / len(finite) if finite else math.nan
+    return summary
+
+
+# -- the report base -----------------------------------------------------------
+
+
+class ReportBase:
+    """Uniform telemetry surface every report subclass speaks.
+
+    Subclasses set ``report_kind`` (a short snake_case noun — it
+    prefixes metric names and tags the JSON envelope) and implement
+    :meth:`payload` / :meth:`from_payload`.  Everything else — the
+    envelope, files, metric diffs — is shared here.
+    """
+
+    #: Short kind tag; subclasses must override.
+    report_kind: ClassVar[str] = ""
+
+    def __init_subclass__(cls, **kwargs) -> None:
+        super().__init_subclass__(**kwargs)
+        kind = cls.__dict__.get("report_kind", "")
+        if kind:
+            existing = _REPORT_KINDS.get(kind)
+            if existing is not None and existing is not cls:
+                raise ReproError(
+                    f"report kind {kind!r} already registered by "
+                    f"{existing.__name__}"
+                )
+            _REPORT_KINDS[kind] = cls
+
+    # -- subclass hooks --------------------------------------------------------
+
+    def payload(self) -> dict:
+        """JSON-ready body (before special-float encoding)."""
+        raise NotImplementedError
+
+    @classmethod
+    def from_payload(cls, payload: dict) -> "ReportBase":
+        """Rebuild from a body produced by :meth:`payload`."""
+        raise NotImplementedError
+
+    def metrics(self) -> dict[str, float]:
+        """Flat summary metrics under uniform ``<kind>.<name>`` keys."""
+        return {}
+
+    # -- the shared envelope ---------------------------------------------------
+
+    def envelope(self) -> dict:
+        """The kind-tagged payload (before special-float encoding).
+
+        This is the nesting unit: composite reports embed child
+        reports as envelopes so one :func:`null_specials` pass at the
+        top serializes the whole tree.
+        """
+        return build_envelope(
+            "report", self.report_kind, REPORT_SCHEMA_VERSION, self.payload()
+        )
+
+    def to_json(self) -> str:
+        """The report as one stable, strict-JSON document."""
+        return dump_json(null_specials(self.envelope()))
+
+    @classmethod
+    def from_envelope(cls, payload: dict) -> "ReportBase":
+        """Rebuild from a (possibly JSON-decoded) envelope dict.
+
+        Called on a concrete subclass it enforces the kind tag; called
+        on :class:`ReportBase` itself it dispatches on it.
+        """
+        kind, payload = split_envelope(payload, "report", REPORT_SCHEMA_VERSION)
+        if cls is ReportBase:
+            target = _REPORT_KINDS.get(kind)
+            import_errors: list[str] = []
+            if target is None:
+                import_errors = _import_builtin_report_modules()
+                target = _REPORT_KINDS.get(kind)
+            if target is None:
+                detail = (
+                    f"; module imports failed: {'; '.join(import_errors)}"
+                    if import_errors
+                    else ""
+                )
+                raise FormatError(
+                    f"unknown report kind {kind!r}; known: "
+                    f"{sorted(_REPORT_KINDS)}{detail}"
+                )
+            return target.from_payload(payload)
+        if kind is not None and kind != cls.report_kind:
+            raise FormatError(
+                f"expected a {cls.report_kind!r} report, got {kind!r}"
+            )
+        return cls.from_payload(payload)
+
+    @classmethod
+    def from_json(cls, text: str) -> "ReportBase":
+        """Rebuild a report from :meth:`to_json` output."""
+        return cls.from_envelope(load_json(text))
+
+    def write(self, path: str | pathlib.Path) -> pathlib.Path:
+        """Persist the JSON artifact; returns the path written."""
+        target = pathlib.Path(path)
+        target.write_text(self.to_json())
+        return target
+
+    @classmethod
+    def read(cls, path: str | pathlib.Path) -> "ReportBase":
+        """Load a report previously :meth:`write`-ten."""
+        return cls.from_json(pathlib.Path(path).read_text())
+
+    # -- comparison and combination --------------------------------------------
+
+    def diff(self, other: "ReportBase") -> dict[str, dict[str, float]]:
+        """Metric-by-metric comparison against a same-kind report.
+
+        Returns ``{metric: {"base", "other", "delta"}}`` over the union
+        of both reports' metrics (one-sided metrics diff against
+        ``nan``).
+        """
+        if self.report_kind != other.report_kind:
+            raise ReproError(
+                f"cannot diff a {self.report_kind!r} report against a "
+                f"{other.report_kind!r} report"
+            )
+        mine = self.metrics()
+        theirs = other.metrics()
+        out: dict[str, dict[str, float]] = {}
+        for name in sorted(set(mine) | set(theirs)):
+            base = mine.get(name, math.nan)
+            new = theirs.get(name, math.nan)
+            out[name] = {"base": base, "other": new, "delta": new - base}
+        return out
+
+    def merge(self, other: "ReportBase") -> "ReportBase":
+        """Accumulate *other* into this report and return it.
+
+        Merge is accumulate-style (mutates and returns ``self``) so hot
+        paths can fold many partial reports without reallocating.  Only
+        kinds with a meaningful combination override it.
+        """
+        raise ReproError(
+            f"{self.report_kind or type(self).__name__} reports do not merge"
+        )
+
+    def describe(self) -> str:
+        """Default human summary: the uniform metric block."""
+        lines = [f"{self.report_kind} report"]
+        for name, value in self.metrics().items():
+            lines.append(f"  {name} = {value:g}")
+        return "\n".join(lines)
+
+
+def _import_builtin_report_modules() -> list[str]:
+    """Register the repo's report kinds on first dispatch.
+
+    Registration rides on class creation (``__init_subclass__``), so a
+    process that never imported, say, the chaos plane cannot revive a
+    chaos artifact.  Importing the defining modules lazily — only when
+    an unknown kind is actually requested — keeps :mod:`repro.common`
+    import-light while making ``report_from_json`` work anywhere.
+
+    Returns one line per module that failed to import, so the caller's
+    unknown-kind error points at a broken install instead of blaming
+    the artifact.
+    """
+    import importlib
+
+    failures: list[str] = []
+    for module in (
+        "repro.chaos.report",
+        "repro.dpp.simulation",
+        "repro.experiments.report",
+        "repro.experiments.runner",
+        "repro.fleet.report",
+        "repro.trainer.stalls",
+        "repro.transforms.cost",
+    ):
+        try:
+            importlib.import_module(module)
+        except ImportError as error:  # pragma: no cover - partial installs
+            failures.append(f"{module} ({error})")
+    return failures
+
+
+def report_kinds() -> dict[str, type[ReportBase]]:
+    """The registered kind → class map (a copy; read-only use)."""
+    return dict(_REPORT_KINDS)
+
+
+def report_from_json(text: str) -> ReportBase:
+    """Revive any registered report kind from its JSON document."""
+    return ReportBase.from_json(text)

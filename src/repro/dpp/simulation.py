@@ -16,9 +16,11 @@ small buffer of tensors" in memory.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 
 from ..common.errors import DppError
+from ..common.serialization import ReportBase, require_keys, revive_floats
 from ..common.simclock import SimClock
 from .autoscaler import AutoscalerConfig, AutoscalingController
 
@@ -62,13 +64,72 @@ class SimTickSample:
     consumed: float
     stalled: bool
 
+    _FLOAT_FIELDS = ("time_s", "buffered_batches", "produced", "consumed")
+
+    def to_row(self) -> dict:
+        return {name: getattr(self, name) for name in self.__dataclass_fields__}
+
+    @classmethod
+    def from_row(cls, row: dict) -> "SimTickSample":
+        require_keys(
+            row,
+            required=cls._FLOAT_FIELDS
+            + ("live_workers", "pending_workers", "stalled"),
+            context="dpp tick sample",
+        )
+        revived = revive_floats(row, cls._FLOAT_FIELDS)
+        return cls(
+            time_s=revived["time_s"],
+            live_workers=int(row["live_workers"]),
+            pending_workers=int(row["pending_workers"]),
+            buffered_batches=revived["buffered_batches"],
+            produced=revived["produced"],
+            consumed=revived["consumed"],
+            stalled=bool(row["stalled"]),
+        )
+
 
 @dataclass
-class SimulationResult:
+class SimulationResult(ReportBase):
     """Full trace plus summary statistics."""
+
+    report_kind = "dpp"
 
     samples: list[SimTickSample]
     scaling_decisions: list[str]
+
+    def payload(self) -> dict:
+        return {
+            "samples": [sample.to_row() for sample in self.samples],
+            "scaling_decisions": list(self.scaling_decisions),
+        }
+
+    @classmethod
+    def from_payload(cls, payload: dict) -> "SimulationResult":
+        require_keys(
+            payload,
+            required=("samples", "scaling_decisions"),
+            context="dpp simulation report",
+        )
+        return cls(
+            samples=[SimTickSample.from_row(row) for row in payload["samples"]],
+            scaling_decisions=list(payload["scaling_decisions"]),
+        )
+
+    def metrics(self) -> dict[str, float]:
+        return {
+            "dpp.ticks": float(len(self.samples)),
+            "dpp.stall_fraction": (
+                self.stall_fraction if self.samples else math.nan
+            ),
+            "dpp.peak_workers": (
+                float(self.peak_workers) if self.samples else math.nan
+            ),
+            "dpp.final_workers": (
+                float(self.final_workers) if self.samples else math.nan
+            ),
+            "dpp.scaling_decisions": float(len(self.scaling_decisions)),
+        }
 
     @property
     def stall_fraction(self) -> float:

@@ -1,0 +1,84 @@
+"""The unified experiment plane: one spec, registry, runner, telemetry.
+
+The paper's value is fleet-scale *what-if* analysis; this package is
+how the repo asks those questions.  Everything an experiment needs
+speaks one contract:
+
+* :class:`Scenario` (:mod:`base`) — picklable, JSON-round-trippable,
+  seeded experiment descriptions with three first-class kinds
+  (:mod:`scenarios`): :class:`FleetRegionScenario` (multi-tenant fleet
+  regions), :class:`ChaosSessionScenario` (fault-injected executable
+  DPP sessions), and :class:`DppTimelineScenario` (timed closed-loop
+  autoscaler studies);
+* the **registry** (:mod:`registry`) — :func:`register_scenario` /
+  :func:`list_scenarios` / :func:`build_scenario` name the repo's
+  experiment vocabulary, with the fleet mixes, chaos acceptance
+  scenarios, and quick-grid cells built in;
+* the **runners** (:mod:`runner`) — :class:`ExperimentRunner` fans any
+  mix of scenario kinds across processes; :class:`SweepRunner` is the
+  fleet-grid specialization aggregating percentile surfaces
+  (:mod:`grid`, :mod:`report`);
+* the **telemetry schema** — every run returns a
+  :class:`~repro.common.serialization.ReportBase`, so all artifacts
+  serialize, revive, merge, and diff the same way.
+
+``python -m repro.experiments {list,run,sweep}`` is the CLI face.
+``repro.sweep`` remains as a deprecated alias of the sweep half.
+"""
+
+from .base import Scenario, scenario_from_json, scenario_kinds
+from .grid import ScenarioGrid, ScenarioSpec, grid_from_json, quick_grid
+from .registry import (
+    RegistryEntry,
+    build_scenario,
+    get_scenario,
+    list_scenarios,
+    register_scenario,
+    unregister_scenario,
+)
+from .report import CELL_METRICS, ScenarioResult, SweepReport
+from .runner import (
+    ExperimentEntry,
+    ExperimentReport,
+    ExperimentRunner,
+    SweepRunner,
+    fan_out,
+    run_experiment,
+    run_scenario_spec,
+)
+from .scenarios import (
+    ChaosSessionScenario,
+    DppTimelineScenario,
+    FleetRegionScenario,
+    MAX_EVENTS_PER_SCENARIO,
+)
+
+__all__ = [
+    "CELL_METRICS",
+    "ChaosSessionScenario",
+    "DppTimelineScenario",
+    "ExperimentEntry",
+    "ExperimentReport",
+    "ExperimentRunner",
+    "FleetRegionScenario",
+    "MAX_EVENTS_PER_SCENARIO",
+    "RegistryEntry",
+    "Scenario",
+    "ScenarioGrid",
+    "ScenarioResult",
+    "ScenarioSpec",
+    "SweepReport",
+    "SweepRunner",
+    "build_scenario",
+    "fan_out",
+    "get_scenario",
+    "grid_from_json",
+    "list_scenarios",
+    "quick_grid",
+    "register_scenario",
+    "run_experiment",
+    "run_scenario_spec",
+    "scenario_from_json",
+    "scenario_kinds",
+    "unregister_scenario",
+]

@@ -1,0 +1,162 @@
+"""``python -m repro.experiments`` — the one experiment CLI.
+
+Subcommands::
+
+    # What can this repo run?
+    python -m repro.experiments list [--kind fleet|chaos|dpp]
+
+    # Run one registered scenario (any kind), archive its report
+    python -m repro.experiments run chaos/worst-case --seed 3 --out report.json
+
+    # Fan a fleet-scenario grid across processes (the old repro.sweep)
+    python -m repro.experiments sweep --quick --jobs 4 --out sweep.json
+    python -m repro.experiments sweep --grid grid.json --seeds 0,1,2,3
+
+Every artifact is a :mod:`repro.common.serialization` report document:
+``repro.common.report_from_json`` revives any of them.
+"""
+
+from __future__ import annotations
+
+import argparse
+import dataclasses
+import sys
+
+from .base import scenario_kinds
+from .grid import ScenarioGrid, grid_from_json, quick_grid
+from .registry import build_scenario, list_scenarios
+from .runner import SweepRunner, run_experiment
+
+
+def _cmd_list(args: argparse.Namespace) -> int:
+    from ..analysis.report import render_table
+
+    entries = list_scenarios(kind=args.kind)
+    if not entries:
+        print(f"no scenarios registered for kind {args.kind!r}")
+        return 1
+    rows = [[e.name, e.kind, e.description] for e in entries]
+    print(
+        render_table(
+            ["scenario", "kind", "description"],
+            rows,
+            title=f"Registered scenarios ({len(entries)})",
+        )
+    )
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    scenario = build_scenario(args.name, seed=args.seed)
+    if args.spec:
+        print(scenario.to_json(), end="")
+        return 0
+    entry = run_experiment(scenario)
+    report = entry.report
+    if not args.quiet:
+        render = getattr(report, "render", None) or getattr(
+            report, "describe"
+        )
+        print(render())
+        print(f"wall time: {entry.wall_s:.2f} s")
+    if args.out:
+        target = report.write(args.out)
+        print(f"report artifact → {target}")
+    return 0
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    seeds = (
+        tuple(int(part) for part in args.seeds.split(",")) if args.seeds else None
+    )
+    if args.quick:
+        grid = quick_grid(seeds or (0, 1, 2, 3, 4))
+    else:
+        grid = grid_from_json(args.grid)
+        if seeds:
+            grid = dataclasses.replace(grid, seeds=seeds)
+
+    runner = SweepRunner(grid, jobs=args.jobs or None)
+    report = runner.run(grid_name=args.name)
+    if not args.quiet:
+        print(report.render())
+    if args.out:
+        target = report.write(args.out)
+        print(f"sweep artifact → {target}")
+    return 0
+
+
+def build_parser(prog: str = "python -m repro.experiments") -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog=prog,
+        description="The unified experiment plane: list, run, and sweep "
+        "registered scenarios.",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    list_parser = commands.add_parser(
+        "list", help="enumerate registered scenarios"
+    )
+    list_parser.add_argument(
+        "--kind",
+        choices=sorted(scenario_kinds()),
+        help="only one scenario kind",
+    )
+    list_parser.set_defaults(handler=_cmd_list)
+
+    run_parser = commands.add_parser(
+        "run", help="run one registered scenario and archive its report"
+    )
+    run_parser.add_argument("name", help="registry name, e.g. fleet/busy")
+    run_parser.add_argument(
+        "--seed", type=int, default=None, help="scenario seed (default 0)"
+    )
+    run_parser.add_argument("--out", help="write the report JSON here")
+    run_parser.add_argument(
+        "--spec",
+        action="store_true",
+        help="print the scenario's JSON spec instead of running it",
+    )
+    run_parser.add_argument(
+        "--quiet", action="store_true", help="suppress the rendered report"
+    )
+    run_parser.set_defaults(handler=_cmd_run)
+
+    sweep_parser = commands.add_parser(
+        "sweep", help="fan a fleet-scenario grid across processes"
+    )
+    source = sweep_parser.add_mutually_exclusive_group(required=True)
+    source.add_argument(
+        "--grid", help="grid spec: a JSON file path or inline JSON"
+    )
+    source.add_argument(
+        "--quick", action="store_true", help="run the built-in smoke grid"
+    )
+    sweep_parser.add_argument(
+        "--seeds",
+        help="comma-separated seed list overriding the grid's seed axis",
+    )
+    sweep_parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="worker processes (0 = one per CPU core; default 1, inline)",
+    )
+    sweep_parser.add_argument(
+        "--name", default="sweep", help="grid name recorded in the artifact"
+    )
+    sweep_parser.add_argument("--out", help="write the SweepReport JSON here")
+    sweep_parser.add_argument(
+        "--quiet", action="store_true", help="suppress the rendered table"
+    )
+    sweep_parser.set_defaults(handler=_cmd_sweep)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.handler(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

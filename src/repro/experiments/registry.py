@@ -1,0 +1,262 @@
+"""The named scenario registry: every experiment a one-liner.
+
+``register_scenario`` maps a name to a seed-parameterized scenario
+factory; ``build_scenario`` revives one, ``list_scenarios`` enumerates
+them for the CLI.  The built-in catalog re-registers the repo's
+existing experiment vocabulary as entries — the fleet sweep mixes
+(quick-grid cells), the chaos acceptance scenarios, and the timed DPP
+control-loop studies — so adding a future scenario means registering
+an entry, not growing a new subsystem.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from ..chaos.faults import FaultEvent, FaultKind
+from ..common.errors import ConfigError
+from .base import Scenario, scenario_kinds
+from .grid import (
+    QUICK_GRID_CONFIG_SPEC,
+    QUICK_GRID_DURATION_S,
+    QUICK_GRID_MIX_OVERRIDES,
+    QUICK_GRID_STORM_ROWS,
+)
+from .scenarios import (
+    ChaosSessionScenario,
+    DppTimelineScenario,
+    FleetRegionScenario,
+    config_from_spec,
+    fault_events_from_rows,
+    mix_from_overrides,
+)
+
+#: A factory builds the scenario for one seed (``None`` = entry default).
+ScenarioFactory = Callable[[int], Scenario]
+
+_REGISTRY: dict[str, "RegistryEntry"] = {}
+
+
+@dataclass(frozen=True)
+class RegistryEntry:
+    """One named, seedable scenario recipe."""
+
+    name: str
+    kind: str
+    description: str
+    factory: ScenarioFactory
+
+    def build(self, seed: int | None = None) -> Scenario:
+        """The concrete scenario for *seed* (entry default when None)."""
+        return self.factory(0 if seed is None else seed)
+
+
+def register_scenario(
+    name: str,
+    kind: str,
+    description: str,
+    factory: ScenarioFactory,
+    overwrite: bool = False,
+) -> RegistryEntry:
+    """Add a named scenario recipe; returns the entry.
+
+    Names are namespaced by convention (``fleet/busy``,
+    ``chaos/worst-case``); re-registering an existing name requires
+    ``overwrite=True`` so plugins cannot silently shadow built-ins.
+    """
+    if not name or "/" not in name:
+        raise ConfigError(
+            f"scenario name {name!r} must be namespaced as '<kind>/<name>'"
+        )
+    if kind not in scenario_kinds():
+        raise ConfigError(
+            f"unknown scenario kind {kind!r}; registered kinds: "
+            f"{sorted(scenario_kinds())}"
+        )
+    if name in _REGISTRY and not overwrite:
+        raise ConfigError(
+            f"scenario {name!r} is already registered "
+            "(pass overwrite=True to replace it)"
+        )
+    entry = RegistryEntry(
+        name=name, kind=kind, description=description, factory=factory
+    )
+    _REGISTRY[name] = entry
+    return entry
+
+
+def unregister_scenario(name: str) -> None:
+    """Remove an entry (tests and plugin teardown)."""
+    _REGISTRY.pop(name, None)
+
+
+def list_scenarios(kind: str | None = None) -> list[RegistryEntry]:
+    """All entries (optionally one kind), sorted by name."""
+    entries = sorted(_REGISTRY.values(), key=lambda e: e.name)
+    if kind is None:
+        return entries
+    return [entry for entry in entries if entry.kind == kind]
+
+
+def get_scenario(name: str) -> RegistryEntry:
+    """Look one entry up, with the available names in the error."""
+    entry = _REGISTRY.get(name)
+    if entry is None:
+        raise ConfigError(
+            f"unknown scenario {name!r}; registered: "
+            f"{[e.name for e in list_scenarios()]}"
+        )
+    return entry
+
+
+def build_scenario(name: str, seed: int | None = None) -> Scenario:
+    """Registry lookup + build in one call."""
+    return get_scenario(name).build(seed)
+
+
+# -- the built-in catalog ------------------------------------------------------
+
+#: The quick-grid fault storm, pinned to virtual-time seconds (derived
+#: from the same rows the sweep quick grid uses).
+_STORM = fault_events_from_rows(QUICK_GRID_STORM_ROWS, "at_s")
+
+
+def _fleet(name: str, seed: int, mix_overrides: dict, faults=()) -> Scenario:
+    return FleetRegionScenario(
+        name=f"{name}/seed{seed}",
+        trace_seed=seed,
+        mix=mix_from_overrides(mix_overrides),
+        config=config_from_spec(QUICK_GRID_CONFIG_SPEC),
+        duration_s=QUICK_GRID_DURATION_S,
+        faults=tuple(faults),
+    )
+
+
+def _register_builtins() -> None:
+    register_scenario(
+        "fleet/default",
+        "fleet",
+        "default mix on the base 40-HDD region, 2 h trace",
+        lambda seed: _fleet("fleet/default", seed, {}),
+    )
+    register_scenario(
+        "fleet/calm",
+        "fleet",
+        "light diurnal stream (24 exploratory jobs/day)",
+        lambda seed: _fleet(
+            "fleet/calm", seed, {"exploratory_per_day": 24.0}
+        ),
+    )
+    register_scenario(
+        "fleet/busy",
+        "fleet",
+        "busy region (96 jobs/day, 40% bursts) — the quick-grid busy cell",
+        lambda seed: _fleet(
+            "fleet/busy", seed, QUICK_GRID_MIX_OVERRIDES["busy"]
+        ),
+    )
+    register_scenario(
+        "fleet/storm",
+        "fleet",
+        "default mix under the quick-grid fault storm "
+        "(crash x4, storage degrade/restore)",
+        lambda seed: _fleet("fleet/storm", seed, {}, faults=_STORM),
+    )
+
+    register_scenario(
+        "chaos/worst-case",
+        "chaos",
+        "scripted worst case: mid-split crash, drain under load, "
+        "failover, buffer-full crash",
+        lambda seed: ChaosSessionScenario(
+            name=f"chaos/worst-case/seed{seed}",
+            seed=seed,
+            n_workers=4,
+            faults=(
+                FaultEvent(1, FaultKind.WORKER_CRASH_MID_SPLIT),
+                FaultEvent(2, FaultKind.WORKER_DRAIN),
+                FaultEvent(3, FaultKind.MASTER_FAILOVER),
+                FaultEvent(4, FaultKind.WORKER_CRASH),
+            ),
+        ),
+    )
+    register_scenario(
+        "chaos/restart-drill",
+        "chaos",
+        "two master restarts at 50% row sampling: checkpoint restore "
+        "must replan the identical sampled split set",
+        lambda seed: ChaosSessionScenario(
+            name=f"chaos/restart-drill/seed{seed}",
+            seed=seed,
+            row_sample_rate=0.5,
+            rows_per_partition=768,
+            faults=(
+                FaultEvent(1, FaultKind.MASTER_RESTART),
+                FaultEvent(3, FaultKind.MASTER_RESTART),
+            ),
+        ),
+    )
+    register_scenario(
+        "chaos/backlogged-crash",
+        "chaos",
+        "slow trainers + crashes on backlogged buffers: the stranded-"
+        "batch requeue scenario (at-least-once, never lost)",
+        lambda seed: ChaosSessionScenario(
+            name=f"chaos/backlogged-crash/seed{seed}",
+            seed=seed,
+            batch_size=24,
+            faults=(
+                FaultEvent(2, FaultKind.WORKER_CRASH),
+                FaultEvent(4, FaultKind.WORKER_CRASH),
+            ),
+            client_batches_per_round=1,
+        ),
+    )
+    register_scenario(
+        "chaos/seeded",
+        "chaos",
+        "five seed-drawn random faults over a 4-worker session",
+        lambda seed: ChaosSessionScenario(
+            name=f"chaos/seeded/seed{seed}",
+            seed=seed,
+            n_workers=4,
+            seeded_faults=5,
+            seeded_max_round=8,
+        ),
+    )
+
+    register_scenario(
+        "dpp/steady-state",
+        "dpp",
+        "right-sized fleet holds demand: stalls stay at zero",
+        lambda seed: DppTimelineScenario(
+            name=f"dpp/steady-state/seed{seed}",
+            seed=seed,
+            initial_workers=8,
+        ),
+    )
+    register_scenario(
+        "dpp/cold-start",
+        "dpp",
+        "one worker against full demand: scale-up convergence time",
+        lambda seed: DppTimelineScenario(
+            name=f"dpp/cold-start/seed{seed}",
+            seed=seed,
+            initial_workers=1,
+        ),
+    )
+    register_scenario(
+        "dpp/worker-churn",
+        "dpp",
+        "two churn waves kill workers mid-run; the controller relaunches",
+        lambda seed: DppTimelineScenario(
+            name=f"dpp/worker-churn/seed{seed}",
+            seed=seed,
+            initial_workers=8,
+            worker_losses=((600.0, 4), (1_200.0, 3)),
+        ),
+    )
+
+
+_register_builtins()

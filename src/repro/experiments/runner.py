@@ -1,0 +1,317 @@
+"""The experiment executors: scenarios across cores, results reduced.
+
+Two runners share one fan-out engine (:func:`fan_out`):
+
+* :class:`SweepRunner` — the fleet-grid specialization: every cell
+  reduces to a flat :class:`~repro.experiments.report.ScenarioResult`
+  in its worker process and aggregates into a
+  :class:`~repro.experiments.report.SweepReport` of percentile
+  surfaces.  (This is the old ``repro.sweep.SweepRunner``, unchanged
+  in behavior: deterministic per-scenario seeding, results independent
+  of process count and scheduling.)
+* :class:`ExperimentRunner` — the general plane: fans *any* mix of
+  registered scenario kinds (fleet regions, chaos sessions, timed DPP
+  simulations) across processes and collects each scenario's full
+  report into an :class:`ExperimentReport`, itself a
+  :class:`~repro.common.serialization.ReportBase` whose JSON embeds
+  every child report envelope.
+
+Both rely on the scenario contract: units of work are module top-level
+functions over picklable scenarios, every scenario seeds itself, and
+reports sort canonically before aggregation — process scheduling can
+never leak into the artifact.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+from ..common.errors import ConfigError
+from ..common.serialization import ReportBase, require_keys, revive_float
+from .base import Scenario
+from .grid import ScenarioGrid
+from .report import ScenarioResult, SweepReport
+from .scenarios import FleetRegionScenario, MAX_EVENTS_PER_SCENARIO
+
+
+def fan_out(items: Sequence, fn: Callable, jobs: int) -> list:
+    """Apply *fn* over *items*, inline or across worker processes.
+
+    ``jobs=1`` (or a single item) runs inline — no pool overhead,
+    easiest to debug, what CI determinism tests use.  Results come back
+    in input order either way, so fan-out width cannot reorder them.
+    """
+    if jobs == 1 or len(items) <= 1:
+        return [fn(item) for item in items]
+    # chunksize amortizes IPC for big batches without starving the
+    # pool's tail on uneven scenario durations.
+    chunksize = max(1, len(items) // (jobs * 4))
+    with ProcessPoolExecutor(max_workers=jobs) as pool:
+        return list(pool.map(fn, items, chunksize=chunksize))
+
+
+def _resolve_jobs(jobs: int | None) -> int:
+    """Worker process count; ``None`` means one per CPU core."""
+    if jobs is None:
+        jobs = os.cpu_count() or 1
+    if jobs < 1:
+        raise ConfigError("a runner needs at least one worker process")
+    return jobs
+
+
+# -- the sweep specialization --------------------------------------------------
+
+
+def run_scenario_spec(spec: FleetRegionScenario) -> ScenarioResult:
+    """Run one fleet scenario to completion (or horizon) and reduce it.
+
+    Module top-level so it fans through ``ProcessPoolExecutor``
+    unchanged.  The full :class:`~repro.fleet.report.FleetReport` stays
+    in the worker process; only the flat result crosses back.
+    """
+    start = time.perf_counter()
+    simulator = spec.build()
+    if simulator is None:
+        return ScenarioResult.empty(
+            name=spec.name,
+            cell=spec.cell,
+            trace_seed=spec.trace_seed,
+            wall_s=time.perf_counter() - start,
+        )
+    fired_before = simulator.clock.fired
+    report = simulator.run(
+        horizon_s=spec.horizon_s, max_events=MAX_EVENTS_PER_SCENARIO
+    )
+    events = simulator.clock.fired - fired_before
+    return ScenarioResult.from_fleet_report(
+        name=spec.name,
+        cell=spec.cell,
+        trace_seed=spec.trace_seed,
+        report=report,
+        events_fired=events,
+        wall_s=time.perf_counter() - start,
+    )
+
+
+class SweepRunner:
+    """Fans a :class:`ScenarioGrid` across processes and aggregates."""
+
+    def __init__(self, grid: ScenarioGrid, jobs: int | None = 1) -> None:
+        """*jobs*: worker processes; 1 runs inline, ``None`` uses the
+        machine's CPU count."""
+        self.grid = grid
+        self.jobs = _resolve_jobs(jobs)
+
+    def run(self, grid_name: str = "sweep") -> SweepReport:
+        """Execute every scenario; returns the aggregated report."""
+        specs = self.grid.expand()
+        start = time.perf_counter()
+        results = fan_out(specs, run_scenario_spec, self.jobs)
+        return SweepReport(
+            results=results,
+            grid_name=grid_name,
+            total_wall_s=time.perf_counter() - start,
+            jobs=self.jobs,
+        )
+
+
+# -- the general plane ---------------------------------------------------------
+
+
+@dataclass
+class ExperimentEntry:
+    """One scenario's outcome inside an experiment batch."""
+
+    name: str
+    scenario_kind: str
+    wall_s: float
+    report: ReportBase
+
+    def to_row(self) -> dict:
+        return {
+            "name": self.name,
+            "scenario_kind": self.scenario_kind,
+            "wall_s": self.wall_s,
+            "report": self.report.envelope(),
+        }
+
+    @classmethod
+    def from_row(cls, row: dict) -> "ExperimentEntry":
+        require_keys(
+            row,
+            required=("name", "scenario_kind", "wall_s", "report"),
+            context="experiment entry",
+        )
+        return cls(
+            name=row["name"],
+            scenario_kind=row["scenario_kind"],
+            wall_s=revive_float(row["wall_s"]),
+            report=ReportBase.from_envelope(row["report"]),
+        )
+
+
+def run_experiment(scenario: Scenario) -> ExperimentEntry:
+    """Run one scenario of any kind; module top-level for pickling."""
+    start = time.perf_counter()
+    report = scenario.run()
+    return ExperimentEntry(
+        name=scenario.name,
+        scenario_kind=scenario.kind,
+        wall_s=time.perf_counter() - start,
+        report=report,
+    )
+
+
+@dataclass
+class ExperimentReport(ReportBase):
+    """A batch of heterogeneous scenario runs under one envelope.
+
+    Unlike a sweep (hundreds of cells, reduced in-worker), an
+    experiment batch keeps each scenario's *full* report — the JSON
+    artifact nests the child envelopes, so one file revives every
+    report with its own kind intact.
+    """
+
+    report_kind = "experiments"
+
+    entries: list[ExperimentEntry]
+    experiment_name: str = "experiment"
+    total_wall_s: float = 0.0
+    jobs: int = 1
+
+    def __post_init__(self) -> None:
+        # Canonical order, same contract as SweepReport.
+        self.entries = sorted(self.entries, key=lambda e: e.name)
+
+    def entry(self, name: str) -> ExperimentEntry:
+        """Look one scenario's entry up by name."""
+        for candidate in self.entries:
+            if candidate.name == name:
+                return candidate
+        raise ConfigError(f"no experiment entry named {name!r}")
+
+    def payload(self) -> dict:
+        return {
+            "experiment_name": self.experiment_name,
+            "jobs": self.jobs,
+            "total_wall_s": round(self.total_wall_s, 3),
+            "entries": [entry.to_row() for entry in self.entries],
+        }
+
+    @classmethod
+    def from_payload(cls, payload: dict) -> "ExperimentReport":
+        require_keys(
+            payload,
+            required=("entries",),
+            optional=("experiment_name", "jobs", "total_wall_s"),
+            context="experiment report",
+        )
+        return cls(
+            entries=[
+                ExperimentEntry.from_row(row) for row in payload["entries"]
+            ],
+            experiment_name=payload.get("experiment_name", "experiment"),
+            jobs=payload.get("jobs", 1),
+            total_wall_s=payload.get("total_wall_s", 0.0),
+        )
+
+    def metrics(self) -> dict[str, float]:
+        flat = {
+            "experiments.scenarios": float(len(self.entries)),
+            "experiments.total_wall_s": self.total_wall_s,
+        }
+        kinds: dict[str, int] = {}
+        for entry in self.entries:
+            kinds[entry.scenario_kind] = kinds.get(entry.scenario_kind, 0) + 1
+        for kind, count in sorted(kinds.items()):
+            flat[f"experiments.scenarios.{kind}"] = float(count)
+        return flat
+
+    def merge(self, other: "ReportBase") -> "ExperimentReport":
+        """Fold another batch in (disjoint scenario names required)."""
+        if not isinstance(other, ExperimentReport):
+            raise ConfigError(
+                "can only merge ExperimentReport into ExperimentReport"
+            )
+        collisions = {e.name for e in self.entries} & {
+            e.name for e in other.entries
+        }
+        if collisions:
+            raise ConfigError(
+                f"cannot merge batches re-running scenarios: "
+                f"{sorted(collisions)[:5]}"
+            )
+        self.entries = sorted(
+            self.entries + other.entries, key=lambda e: e.name
+        )
+        self.total_wall_s += other.total_wall_s
+        self.jobs = max(self.jobs, other.jobs)
+        return self
+
+    def render(self) -> str:
+        """Per-scenario table: kind, wall time, headline metrics."""
+        from ..analysis.report import render_table
+
+        rows = []
+        for entry in self.entries:
+            child = entry.report.metrics()
+            headline = ", ".join(
+                f"{key.split('.', 1)[1]}={value:g}"
+                for key, value in list(child.items())[:3]
+            )
+            rows.append(
+                [
+                    entry.name,
+                    entry.scenario_kind,
+                    f"{entry.wall_s:.2f}",
+                    headline or "-",
+                ]
+            )
+        table = render_table(
+            ["scenario", "kind", "wall_s", "headline metrics"],
+            rows,
+            title=f"Experiment batch: {self.experiment_name}",
+        )
+        summary = f"scenarios: {len(self.entries)}"
+        if self.total_wall_s > 0:
+            summary += (
+                f"; wall time {self.total_wall_s:.1f} s with "
+                f"{self.jobs} process(es)"
+            )
+        return table + "\n" + summary
+
+
+class ExperimentRunner:
+    """Fans any mix of scenario kinds across processes.
+
+    The generalization of :class:`SweepRunner`: same pool policy, same
+    determinism contract (scenarios carry their own seeds; entries sort
+    canonically), but heterogeneous scenarios in, full per-scenario
+    reports out.
+    """
+
+    def __init__(
+        self, scenarios: Sequence[Scenario], jobs: int | None = 1
+    ) -> None:
+        if not scenarios:
+            raise ConfigError("an experiment needs at least one scenario")
+        names = [scenario.name for scenario in scenarios]
+        if len(set(names)) != len(names):
+            raise ConfigError("scenario names must be unique within a batch")
+        self.scenarios = list(scenarios)
+        self.jobs = _resolve_jobs(jobs)
+
+    def run(self, experiment_name: str = "experiment") -> ExperimentReport:
+        """Execute every scenario; returns the batched report."""
+        start = time.perf_counter()
+        entries = fan_out(self.scenarios, run_experiment, self.jobs)
+        return ExperimentReport(
+            entries=entries,
+            experiment_name=experiment_name,
+            total_wall_s=time.perf_counter() - start,
+            jobs=self.jobs,
+        )

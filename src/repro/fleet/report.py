@@ -11,10 +11,13 @@ paper-table benchmarks.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 
 from ..analysis.report import render_table
+from ..cluster.job import JobKind
 from ..common.errors import SchedulingError
+from ..common.serialization import ReportBase, require_keys, revive_floats
+from ..workloads.models import model_by_name
 from .jobs import FleetJobSpec
 
 
@@ -67,6 +70,76 @@ class JobOutcome:
         """Average DPP workers held while active."""
         return self.worker_seconds / self.active_s if self.active_s > 0 else 0.0
 
+    #: Plain-float row fields (``completed_s`` stays float-or-null).
+    _FLOAT_FIELDS = (
+        "admitted_s",
+        "samples_done",
+        "stall_s",
+        "worker_seconds",
+        "granted_bytes",
+    )
+
+    def to_row(self) -> dict:
+        """JSON-ready row.  The job's model is recorded *by name* —
+        fleet traces draw from the paper's RM catalog, and embedding
+        the full hardware-profile tree per job would dwarf the row."""
+        return {
+            "spec": {
+                "job_id": self.spec.job_id,
+                "model": self.spec.model.name,
+                "kind": self.spec.kind.value,
+                "arrival_s": self.spec.arrival_s,
+                "trainer_nodes": self.spec.trainer_nodes,
+                "target_samples": self.spec.target_samples,
+            },
+            "admitted_s": self.admitted_s,
+            "completed_s": self.completed_s,
+            "samples_done": self.samples_done,
+            "stall_s": self.stall_s,
+            "worker_seconds": self.worker_seconds,
+            "granted_bytes": self.granted_bytes,
+        }
+
+    @classmethod
+    def from_row(cls, row: dict) -> "JobOutcome":
+        """Rebuild from :meth:`to_row` output (strict keys)."""
+        require_keys(
+            row,
+            required=("spec",) + cls._FLOAT_FIELDS + ("completed_s",),
+            context="fleet job outcome",
+        )
+        spec_row = row["spec"]
+        require_keys(
+            spec_row,
+            required=(
+                "job_id",
+                "model",
+                "kind",
+                "arrival_s",
+                "trainer_nodes",
+                "target_samples",
+            ),
+            context="fleet job spec",
+        )
+        revived = revive_floats(row, cls._FLOAT_FIELDS)
+        completed = row["completed_s"]
+        return cls(
+            spec=FleetJobSpec(
+                job_id=int(spec_row["job_id"]),
+                model=model_by_name(spec_row["model"]),
+                kind=JobKind(spec_row["kind"]),
+                arrival_s=float(spec_row["arrival_s"]),
+                trainer_nodes=int(spec_row["trainer_nodes"]),
+                target_samples=float(spec_row["target_samples"]),
+            ),
+            admitted_s=revived["admitted_s"],
+            completed_s=None if completed is None else float(completed),
+            samples_done=revived["samples_done"],
+            stall_s=revived["stall_s"],
+            worker_seconds=revived["worker_seconds"],
+            granted_bytes=revived["granted_bytes"],
+        )
+
 
 @dataclass(frozen=True)
 class FleetSample:
@@ -83,10 +156,43 @@ class FleetSample:
     storage_utilization: float
     power_watts: float
 
+    _FLOAT_FIELDS = (
+        "time_s",
+        "supply_samples_per_s",
+        "demand_samples_per_s",
+        "granted_bytes_per_s",
+        "storage_utilization",
+        "power_watts",
+    )
+    _INT_FIELDS = (
+        "active_jobs",
+        "queued_jobs",
+        "live_workers",
+        "pending_workers",
+    )
+
+    def to_row(self) -> dict:
+        """JSON-ready row (field names are the schema)."""
+        return {name: getattr(self, name) for name in self.__dataclass_fields__}
+
+    @classmethod
+    def from_row(cls, row: dict) -> "FleetSample":
+        require_keys(
+            row,
+            required=cls._FLOAT_FIELDS + cls._INT_FIELDS,
+            context="fleet tick sample",
+        )
+        revived = revive_floats(row, cls._FLOAT_FIELDS)
+        for name in cls._INT_FIELDS:
+            revived[name] = int(revived[name])
+        return cls(**revived)
+
 
 @dataclass
-class FleetReport:
+class FleetReport(ReportBase):
     """Everything a fleet run produced."""
+
+    report_kind = "fleet"
 
     outcomes: list[JobOutcome]
     samples: list[FleetSample]
@@ -167,6 +273,105 @@ class FleetReport:
         return {
             o.spec.job_id: o.achieved_samples_per_s for o in self.finished_outcomes()
         }
+
+    # -- shared telemetry surface ----------------------------------------------
+
+    def payload(self) -> dict:
+        return {
+            "outcomes": [o.to_row() for o in self.outcomes],
+            "samples": [s.to_row() for s in self.samples],
+            "storage_bandwidth_bytes_per_s": self.storage_bandwidth_bytes_per_s,
+            "makespan_s": self.makespan_s,
+            "unadmitted_queue_delays_s": list(self.unadmitted_queue_delays_s),
+        }
+
+    @classmethod
+    def from_payload(cls, payload: dict) -> "FleetReport":
+        require_keys(
+            payload,
+            required=(
+                "outcomes",
+                "samples",
+                "storage_bandwidth_bytes_per_s",
+                "makespan_s",
+                "unadmitted_queue_delays_s",
+            ),
+            context="fleet report",
+        )
+        return cls(
+            outcomes=[JobOutcome.from_row(row) for row in payload["outcomes"]],
+            samples=[FleetSample.from_row(row) for row in payload["samples"]],
+            storage_bandwidth_bytes_per_s=float(
+                payload["storage_bandwidth_bytes_per_s"]
+            ),
+            makespan_s=float(payload["makespan_s"]),
+            unadmitted_queue_delays_s=[
+                float(delay) for delay in payload["unadmitted_queue_delays_s"]
+            ],
+        )
+
+    def metrics(self) -> dict[str, float]:
+        """Uniform fleet summary (nan where an aggregate is undefined)."""
+        finished = self.finished_outcomes()
+        return {
+            "fleet.jobs_submitted": float(self.jobs_submitted),
+            "fleet.jobs_completed": float(self.jobs_completed),
+            "fleet.peak_concurrency": float(self.peak_concurrency),
+            "fleet.makespan_s": self.makespan_s,
+            "fleet.aggregate_samples_per_s": (
+                self.aggregate_samples_per_s if self.makespan_s > 0 else math.nan
+            ),
+            "fleet.mean_slowdown": self.mean_slowdown if finished else math.nan,
+            "fleet.mean_stall_fraction": (
+                sum(o.stall_fraction for o in finished) / len(finished)
+                if finished
+                else math.nan
+            ),
+            "fleet.p95_queue_delay_s": (
+                self.p95_queue_delay_s if self.jobs_submitted else math.nan
+            ),
+            "fleet.mean_storage_utilization": self.mean_storage_utilization,
+            "fleet.peak_storage_utilization": self.peak_storage_utilization,
+            "fleet.peak_power_watts": max(
+                (s.power_watts for s in self.samples), default=0.0
+            ),
+        }
+
+    def merge(self, other: "ReportBase") -> "FleetReport":
+        """Fold another region's run in: the union-of-regions view.
+
+        Outcomes and tick samples concatenate (samples re-sorted on
+        time), fabric bandwidth sums, and makespan takes the max — the
+        aggregates then read as one larger plane.  Every generated
+        region numbers its jobs from 0, so colliding job ids from
+        *other* are renumbered past this report's highest id — job
+        identity stays unique in the merged view instead of silently
+        collapsing in ``throughput_by_job``.
+        """
+        if not isinstance(other, FleetReport):
+            raise SchedulingError("can only merge FleetReport into FleetReport")
+        taken = {o.spec.job_id for o in self.outcomes}
+        incoming = list(other.outcomes)
+        if taken & {o.spec.job_id for o in incoming}:
+            next_id = max(taken, default=-1) + 1
+            incoming = [
+                replace(outcome, spec=replace(outcome.spec, job_id=next_id + offset))
+                for offset, outcome in enumerate(
+                    sorted(incoming, key=lambda o: o.spec.job_id)
+                )
+            ]
+        self.outcomes = sorted(
+            self.outcomes + incoming, key=lambda o: o.spec.job_id
+        )
+        self.samples = sorted(
+            self.samples + other.samples, key=lambda s: s.time_s
+        )
+        self.storage_bandwidth_bytes_per_s += other.storage_bandwidth_bytes_per_s
+        self.makespan_s = max(self.makespan_s, other.makespan_s)
+        self.unadmitted_queue_delays_s = list(
+            self.unadmitted_queue_delays_s
+        ) + list(other.unadmitted_queue_delays_s)
+        return self
 
     # -- rendering ------------------------------------------------------------
 

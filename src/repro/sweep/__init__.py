@@ -1,28 +1,26 @@
-"""Parallel scenario sweeps over the fleet simulation plane.
+"""Deprecated alias of :mod:`repro.experiments` (the sweep half).
 
-One fleet run answers one question; the paper's provisioning arguments
-(Sections 4 and 7) are *distributions* — how do tail queue delays,
-stall fractions, and power peaks move across seeds, workload mixes,
-fault storms, and fabric shapes?  This package turns the fleet
-simulator into that instrument:
-
-* :class:`ScenarioGrid` (:mod:`grid`) expands seeds × mixes × configs ×
-  fault schedules into picklable :class:`ScenarioSpec`\\ s with
-  deterministic per-scenario seeding;
-* :class:`SweepRunner` (:mod:`runner`) fans the specs across worker
-  processes (or runs them inline) and reduces each run to a compact
-  :class:`ScenarioResult`;
-* :class:`SweepReport` (:mod:`report`) aggregates results into
-  percentile surfaces per grid cell and serializes to/from JSON.
-
-``python -m repro.sweep`` is the CLI face: grid spec via JSON or
-flags, ``--jobs N`` process fan-out, a ``SweepReport`` JSON artifact
-out.
+The sweep plane grew into the unified experiment plane; everything
+this package exported lives on under :mod:`repro.experiments` with the
+same names and behavior (``ScenarioSpec`` is now spelled
+:class:`~repro.experiments.scenarios.FleetRegionScenario`; the old
+name remains an alias).  Importing :mod:`repro.sweep` keeps working —
+with this one :class:`DeprecationWarning` — so archived scripts and
+notebooks don't break mid-flight.
 """
 
-from .grid import ScenarioGrid, ScenarioSpec, grid_from_json
-from .report import CELL_METRICS, ScenarioResult, SweepReport
-from .runner import SweepRunner, run_scenario_spec
+import warnings
+
+warnings.warn(
+    "repro.sweep is deprecated; use repro.experiments "
+    "(python -m repro.experiments sweep replaces python -m repro.sweep)",
+    DeprecationWarning,
+    stacklevel=2,
+)
+
+from ..experiments.grid import ScenarioGrid, ScenarioSpec, grid_from_json
+from ..experiments.report import CELL_METRICS, ScenarioResult, SweepReport
+from ..experiments.runner import SweepRunner, run_scenario_spec
 
 __all__ = [
     "CELL_METRICS",

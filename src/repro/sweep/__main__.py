@@ -1,100 +1,26 @@
-"""``python -m repro.sweep`` — run a scenario grid and write the artifact.
+"""``python -m repro.sweep`` — deprecated alias.
 
-Examples::
-
-    # A quick built-in grid: 5 seeds x 2 mixes, 4 processes
-    python -m repro.sweep --quick --jobs 4 --out sweep.json
-
-    # A grid spec from JSON (see repro.sweep.grid.grid_from_json)
-    python -m repro.sweep --grid grid.json --jobs 8 --out sweep.json
-
-    # Override the seed axis from the command line
-    python -m repro.sweep --grid grid.json --seeds 0,1,2,3
+Delegates to ``python -m repro.experiments sweep`` with the same flags
+(the package import above already emitted the deprecation warning).
 """
 
 from __future__ import annotations
 
-import argparse
-import dataclasses
 import sys
 
-from .grid import ScenarioGrid, grid_from_json
-from .runner import SweepRunner
+from ..experiments.__main__ import main as _experiments_main
 
 
-def quick_grid(seeds: tuple[int, ...]) -> ScenarioGrid:
-    """The built-in smoke grid: small region, two mixes, one fault storm."""
-    from ..chaos.faults import FaultEvent, FaultKind
-    from ..fleet.jobs import FleetMix
+def quick_grid(seeds: tuple[int, ...]):
+    """Back-compat re-export (moved to :mod:`repro.experiments.grid`)."""
+    from ..experiments.grid import quick_grid as _quick_grid
 
-    return grid_from_json(
-        {
-            "seeds": list(seeds),
-            "duration_s": 2.0 * 3600,
-            "mixes": {
-                "default": {},
-                "busy": {"exploratory_per_day": 96.0, "burst_probability": 0.4},
-            },
-            "configs": {"base": {"n_hdd_nodes": 40, "n_ssd_cache_nodes": 4}},
-            "faults": {
-                "none": [],
-                "storm": [
-                    {"kind": "worker_crash", "at_s": 1800, "magnitude": 4},
-                    {"kind": "degrade_storage", "at_s": 3600, "magnitude": 0.5},
-                    {"kind": "restore_storage", "at_s": 5400},
-                ],
-            },
-        }
-    )
+    return _quick_grid(seeds)
 
 
 def main(argv: list[str] | None = None) -> int:
-    parser = argparse.ArgumentParser(
-        prog="python -m repro.sweep",
-        description="Fan a fleet-scenario grid across processes.",
-    )
-    source = parser.add_mutually_exclusive_group(required=True)
-    source.add_argument("--grid", help="grid spec: a JSON file path or inline JSON")
-    source.add_argument(
-        "--quick", action="store_true", help="run the built-in smoke grid"
-    )
-    parser.add_argument(
-        "--seeds",
-        help="comma-separated seed list overriding the grid's seed axis",
-    )
-    parser.add_argument(
-        "--jobs",
-        type=int,
-        default=1,
-        help="worker processes (0 = one per CPU core; default 1, inline)",
-    )
-    parser.add_argument(
-        "--name", default="sweep", help="grid name recorded in the artifact"
-    )
-    parser.add_argument("--out", help="write the SweepReport JSON here")
-    parser.add_argument(
-        "--quiet", action="store_true", help="suppress the rendered table"
-    )
-    args = parser.parse_args(argv)
-
-    seeds = (
-        tuple(int(part) for part in args.seeds.split(",")) if args.seeds else None
-    )
-    if args.quick:
-        grid = quick_grid(seeds or (0, 1, 2, 3, 4))
-    else:
-        grid = grid_from_json(args.grid)
-        if seeds:
-            grid = dataclasses.replace(grid, seeds=seeds)
-
-    runner = SweepRunner(grid, jobs=args.jobs or None)
-    report = runner.run(grid_name=args.name)
-    if not args.quiet:
-        print(report.render())
-    if args.out:
-        target = report.write(args.out)
-        print(f"sweep artifact → {target}")
-    return 0
+    args = sys.argv[1:] if argv is None else list(argv)
+    return _experiments_main(["sweep", *args])
 
 
 if __name__ == "__main__":

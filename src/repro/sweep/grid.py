@@ -1,246 +1,9 @@
-"""Scenario grids: the cartesian space a sweep explores.
+"""Deprecated alias module: see :mod:`repro.experiments.grid`."""
 
-A grid names its axes — seeds, workload mixes, fleet configs, fault
-schedules — and :meth:`ScenarioGrid.expand` flattens them into one
-:class:`ScenarioSpec` per cell×seed.  Specs are frozen dataclasses
-built from the library's own frozen config types, so they pickle
-cleanly across process boundaries and hash stably into per-scenario
-seeds.
-"""
-
-from __future__ import annotations
-
-import json
-import pathlib
-from dataclasses import dataclass, fields, replace
-
-from ..chaos.faults import FaultEvent, FaultKind
-from ..common.errors import ConfigError
-from ..common.hashing import stable_hash
-from ..fleet.allocator import PoolConfig
-from ..fleet.broker import StorageFabric
-from ..fleet.jobs import FleetMix
-from ..fleet.simulator import FleetConfig
-
-#: Fault kinds a fleet-plane scenario may inject (the simulator's
-#: public chaos hooks); per-session kinds belong to ChaosRunner.
-FLEET_FAULT_KINDS = {
-    FaultKind.WORKER_CRASH,
-    FaultKind.DEGRADE_STORAGE,
-    FaultKind.RESTORE_STORAGE,
-}
-
-
-@dataclass(frozen=True)
-class ScenarioSpec:
-    """One fully-resolved, picklable cell of a sweep.
-
-    ``trace_seed`` drives the job-arrival trace; ``fault_seed`` (derived
-    stably from the scenario name and trace seed) varies fault victim
-    *targeting* only — the runner rotates the round-robin victim order
-    by it — so two cells sharing a mix and seed replay the *same*
-    arrivals under different fault storms: paired comparisons, not
-    noise.
-    """
-
-    name: str
-    trace_seed: int
-    mix: FleetMix
-    config: FleetConfig
-    duration_s: float
-    horizon_s: float | None = None
-    faults: tuple[FaultEvent, ...] = ()
-
-    def __post_init__(self) -> None:
-        if self.duration_s <= 0:
-            raise ConfigError("scenario duration must be positive")
-        unsupported = {f.kind for f in self.faults} - FLEET_FAULT_KINDS
-        if unsupported:
-            raise ConfigError(
-                "fleet scenarios support "
-                f"{sorted(k.value for k in FLEET_FAULT_KINDS)}; "
-                f"got {sorted(k.value for k in unsupported)}"
-            )
-
-    @property
-    def fault_seed(self) -> int:
-        """Deterministic victim-selection seed for this scenario."""
-        return stable_hash(self.name, self.trace_seed) & 0x7FFFFFFF
-
-    @property
-    def cell(self) -> str:
-        """The grid cell (scenario name without the seed axis)."""
-        return self.name.rsplit("/seed", 1)[0]
-
-
-@dataclass(frozen=True)
-class ScenarioGrid:
-    """Axes of a sweep: seeds × mixes × configs × fault schedules.
-
-    Each non-seed axis is a tuple of ``(name, value)`` pairs; the grid
-    expands to ``len(mixes) * len(configs) * len(faults) * len(seeds)``
-    scenarios named ``mix/config/faults/seedN``.
-    """
-
-    seeds: tuple[int, ...]
-    mixes: tuple[tuple[str, FleetMix], ...]
-    configs: tuple[tuple[str, FleetConfig], ...]
-    faults: tuple[tuple[str, tuple[FaultEvent, ...]], ...] = (("none", ()),)
-    duration_s: float = 4.0 * 3600
-    horizon_s: float | None = None
-
-    def __post_init__(self) -> None:
-        if not self.seeds:
-            raise ConfigError("grid needs at least one seed")
-        if not self.mixes or not self.configs or not self.faults:
-            raise ConfigError("every grid axis needs at least one entry")
-        for axis in (self.mixes, self.configs, self.faults):
-            names = [name for name, _ in axis]
-            if len(set(names)) != len(names):
-                raise ConfigError(f"duplicate axis names: {sorted(names)}")
-        if self.duration_s <= 0:
-            raise ConfigError("trace duration must be positive")
-
-    def __len__(self) -> int:
-        return (
-            len(self.mixes) * len(self.configs) * len(self.faults) * len(self.seeds)
-        )
-
-    def expand(self) -> list[ScenarioSpec]:
-        """All scenario specs, in deterministic axis-major order."""
-        specs: list[ScenarioSpec] = []
-        for mix_name, mix in self.mixes:
-            for config_name, config in self.configs:
-                for fault_name, events in self.faults:
-                    for seed in self.seeds:
-                        specs.append(
-                            ScenarioSpec(
-                                name=(
-                                    f"{mix_name}/{config_name}/"
-                                    f"{fault_name}/seed{seed}"
-                                ),
-                                trace_seed=seed,
-                                mix=mix,
-                                config=config,
-                                duration_s=self.duration_s,
-                                horizon_s=self.horizon_s,
-                                faults=events,
-                            )
-                        )
-        return specs
-
-
-# -- JSON grid specs -----------------------------------------------------------
-
-
-def _mix_from_overrides(overrides: dict) -> FleetMix:
-    """A FleetMix from default values plus JSON field overrides."""
-    valid = {f.name for f in fields(FleetMix)} - {"models"}
-    unknown = set(overrides) - valid
-    if unknown:
-        raise ConfigError(f"unknown FleetMix fields: {sorted(unknown)}")
-    coerced = {
-        key: tuple(value) if isinstance(value, list) else value
-        for key, value in overrides.items()
-    }
-    return replace(FleetMix(), **coerced)
-
-
-def _config_from_spec(spec: dict) -> FleetConfig:
-    """A FleetConfig from the flat JSON shorthand.
-
-    Recognized keys: ``n_hdd_nodes``, ``n_ssd_cache_nodes`` (fabric),
-    ``n_trainer_nodes``, ``max_workers`` (pool), ``power_budget_watts``,
-    ``tick_s``, ``control_period_s``, ``buffer_capacity_s``.
-    """
-    known = {
-        "n_hdd_nodes",
-        "n_ssd_cache_nodes",
-        "n_trainer_nodes",
-        "max_workers",
-        "power_budget_watts",
-        "tick_s",
-        "control_period_s",
-        "buffer_capacity_s",
-    }
-    unknown = set(spec) - known
-    if unknown:
-        raise ConfigError(f"unknown fleet-config fields: {sorted(unknown)}")
-    fabric = StorageFabric(
-        n_hdd_nodes=spec.get("n_hdd_nodes", 40),
-        n_ssd_cache_nodes=spec.get("n_ssd_cache_nodes", 4),
-    )
-    extras = {
-        key: spec[key]
-        for key in ("power_budget_watts", "tick_s", "control_period_s", "buffer_capacity_s")
-        if key in spec
-    }
-    return FleetConfig(
-        fabric=fabric,
-        n_trainer_nodes=spec.get("n_trainer_nodes", 32),
-        pool=PoolConfig(max_workers=spec.get("max_workers", 2_000)),
-        **extras,
-    )
-
-
-def _fault_events(entries: list[dict]) -> tuple[FaultEvent, ...]:
-    """FaultEvents from ``{"kind", "at_s", "magnitude"}`` JSON rows."""
-    events = []
-    for entry in entries:
-        events.append(
-            FaultEvent(
-                round_index=int(entry["at_s"]),
-                kind=FaultKind(entry["kind"]),
-                magnitude=float(entry.get("magnitude", 1.0)),
-            )
-        )
-    return tuple(events)
-
-
-def grid_from_json(source: str | pathlib.Path | dict) -> ScenarioGrid:
-    """Parse a grid from a JSON file path, JSON text, or parsed dict.
-
-    Schema (all sections optional except ``seeds``)::
-
-        {
-          "seeds": [0, 1, 2],
-          "duration_s": 14400,
-          "horizon_s": null,
-          "mixes": {"default": {}, "busy": {"exploratory_per_day": 96}},
-          "configs": {"base": {"n_hdd_nodes": 40, "n_trainer_nodes": 32}},
-          "faults": {"none": [],
-                     "storm": [{"kind": "worker_crash", "at_s": 3600,
-                                "magnitude": 4}]}
-        }
-    """
-    if isinstance(source, dict):
-        payload = source
-    else:
-        text = str(source)
-        if text.lstrip().startswith("{"):
-            payload = json.loads(text)
-        else:
-            payload = json.loads(pathlib.Path(source).read_text())
-    if "seeds" not in payload or not payload["seeds"]:
-        raise ConfigError("grid spec needs a non-empty 'seeds' list")
-    mixes = payload.get("mixes") or {"default": {}}
-    configs = payload.get("configs") or {"base": {}}
-    faults = payload.get("faults") or {"none": []}
-    return ScenarioGrid(
-        seeds=tuple(int(s) for s in payload["seeds"]),
-        mixes=tuple(
-            (name, _mix_from_overrides(overrides)) for name, overrides in mixes.items()
-        ),
-        configs=tuple(
-            (name, _config_from_spec(spec)) for name, spec in configs.items()
-        ),
-        faults=tuple(
-            (name, _fault_events(entries)) for name, entries in faults.items()
-        ),
-        duration_s=float(payload.get("duration_s", 4.0 * 3600)),
-        horizon_s=(
-            float(payload["horizon_s"])
-            if payload.get("horizon_s") is not None
-            else None
-        ),
-    )
+from ..experiments.grid import (  # noqa: F401
+    ScenarioGrid,
+    ScenarioSpec,
+    grid_from_json,
+    quick_grid,
+)
+from ..experiments.scenarios import FLEET_FAULT_KINDS  # noqa: F401

@@ -1,292 +1,7 @@
-"""Sweep aggregation: from many fleet runs to percentile surfaces.
+"""Deprecated alias module: see :mod:`repro.experiments.report`."""
 
-Each scenario reduces to one flat :class:`ScenarioResult` in its worker
-process (a :class:`~repro.fleet.report.FleetReport` carries full
-per-tick traces — far too heavy to ship back for hundreds of
-scenarios).  :class:`SweepReport` then groups results by grid cell and
-lays percentile surfaces over the seed axis: the throughput / stall /
-power / queue-delay distributions the paper's provisioning sections
-argue from.  Rendering reuses the :mod:`repro.analysis.report` table
-style, and the whole report round-trips through JSON so sweeps can be
-archived and diffed as artifacts.
-"""
-
-from __future__ import annotations
-
-import json
-import math
-import pathlib
-from dataclasses import asdict, dataclass, field
-
-from ..analysis.report import render_table
-from ..common.errors import ConfigError
-
-#: The metrics a cell surface summarizes, in render order.
-CELL_METRICS = (
-    "aggregate_samples_per_s",
-    "mean_slowdown",
-    "mean_stall_fraction",
-    "p95_queue_delay_s",
-    "peak_power_watts",
-    "peak_storage_utilization",
+from ..experiments.report import (  # noqa: F401
+    CELL_METRICS,
+    ScenarioResult,
+    SweepReport,
 )
-
-#: Percentiles of each cell's seed distribution.
-SURFACE_PERCENTILES = (50.0, 90.0, 100.0)
-
-
-@dataclass(frozen=True)
-class ScenarioResult:
-    """One scenario's outcome, flattened for cheap pickling.
-
-    Ratio metrics that need at least one finished job are ``nan`` when
-    the horizon cut every job short — ``nan`` survives JSON round-trips
-    here (serialized as ``null``) and percentile math skips it.
-    """
-
-    name: str
-    cell: str
-    trace_seed: int
-    jobs_submitted: int
-    jobs_completed: int
-    peak_concurrency: int
-    makespan_s: float
-    aggregate_samples_per_s: float
-    mean_slowdown: float
-    mean_stall_fraction: float
-    p95_queue_delay_s: float
-    mean_storage_utilization: float
-    peak_storage_utilization: float
-    peak_power_watts: float
-    events_fired: int
-    wall_s: float
-
-    @classmethod
-    def from_fleet_report(
-        cls,
-        name: str,
-        cell: str,
-        trace_seed: int,
-        report,
-        events_fired: int,
-        wall_s: float,
-    ) -> "ScenarioResult":
-        """Reduce a FleetReport (guarding its raising aggregates)."""
-        finished = report.finished_outcomes()
-        return cls(
-            name=name,
-            cell=cell,
-            trace_seed=trace_seed,
-            jobs_submitted=report.jobs_submitted,
-            jobs_completed=len(finished),
-            peak_concurrency=report.peak_concurrency,
-            makespan_s=report.makespan_s,
-            aggregate_samples_per_s=(
-                report.aggregate_samples_per_s if report.makespan_s > 0 else math.nan
-            ),
-            mean_slowdown=report.mean_slowdown if finished else math.nan,
-            mean_stall_fraction=(
-                sum(o.stall_fraction for o in finished) / len(finished)
-                if finished
-                else math.nan
-            ),
-            p95_queue_delay_s=(
-                report.p95_queue_delay_s if report.jobs_submitted else math.nan
-            ),
-            mean_storage_utilization=report.mean_storage_utilization,
-            peak_storage_utilization=report.peak_storage_utilization,
-            peak_power_watts=max(
-                (s.power_watts for s in report.samples), default=0.0
-            ),
-            events_fired=events_fired,
-            wall_s=wall_s,
-        )
-
-
-def _percentile(values: list[float], q: float) -> float:
-    """Ceiling-index percentile, matching the fleet report's tail
-    convention: small populations report their worst value rather than
-    interpolating the tail away."""
-    if not values:
-        return math.nan
-    ranked = sorted(values)
-    return ranked[math.ceil(q / 100.0 * (len(ranked) - 1))]
-
-
-@dataclass
-class SweepReport:
-    """Results of one sweep, plus the aggregation surfaces over them."""
-
-    results: list[ScenarioResult]
-    grid_name: str = "sweep"
-    total_wall_s: float = 0.0
-    jobs: int = 1  # process fan-out the sweep ran with
-    extras: dict = field(default_factory=dict)
-
-    def __post_init__(self) -> None:
-        # Canonical order: aggregation must not depend on completion
-        # order across worker processes.
-        self.results = sorted(self.results, key=lambda r: r.name)
-
-    # -- aggregation -----------------------------------------------------------
-
-    @property
-    def cells(self) -> list[str]:
-        """Grid cells (mix/config/faults) in deterministic order."""
-        seen: dict[str, None] = {}
-        for result in self.results:
-            seen.setdefault(result.cell, None)
-        return list(seen)
-
-    def cell_results(self, cell: str) -> list[ScenarioResult]:
-        """All seeds' results for one grid cell."""
-        matches = [r for r in self.results if r.cell == cell]
-        if not matches:
-            raise ConfigError(f"unknown sweep cell {cell!r}")
-        return matches
-
-    def surface(self, metric: str) -> dict[str, dict[str, float]]:
-        """Percentiles of *metric* across seeds, per grid cell.
-
-        Returns ``{cell: {"p50": ..., "p90": ..., "p100": ...,
-        "mean": ...}}``, skipping ``nan`` observations (scenarios where
-        the metric was undefined).
-        """
-        if metric not in CELL_METRICS:
-            raise ConfigError(
-                f"unknown surface metric {metric!r}; choose from {CELL_METRICS}"
-            )
-        surface: dict[str, dict[str, float]] = {}
-        for cell in self.cells:
-            values = [
-                value
-                for result in self.cell_results(cell)
-                if not math.isnan(value := getattr(result, metric))
-            ]
-            entry = {
-                f"p{q:.0f}": _percentile(values, q) for q in SURFACE_PERCENTILES
-            }
-            entry["mean"] = (
-                sum(values) / len(values) if values else math.nan
-            )
-            surface[cell] = entry
-        return surface
-
-    @property
-    def scenarios_per_s(self) -> float:
-        """Sweep throughput against wall time (the fan-out payoff)."""
-        if self.total_wall_s <= 0:
-            raise ConfigError("sweep recorded no wall time")
-        return len(self.results) / self.total_wall_s
-
-    # -- serialization ---------------------------------------------------------
-
-    def to_json(self) -> str:
-        """The whole report as a stable, diff-friendly JSON document."""
-        payload = _null_nans(
-            {
-                "grid_name": self.grid_name,
-                "jobs": self.jobs,
-                "total_wall_s": round(self.total_wall_s, 3),
-                "scenarios": [asdict(result) for result in self.results],
-                "surfaces": {
-                    metric: self.surface(metric) for metric in CELL_METRICS
-                },
-                "extras": self.extras,
-            }
-        )
-        # NaN slots were nulled above; allow_nan=False guards the
-        # artifact's strict-JSON promise against future metric fields.
-        return json.dumps(payload, indent=2, sort_keys=True, allow_nan=False) + "\n"
-
-    def write(self, path: str | pathlib.Path) -> pathlib.Path:
-        """Persist the JSON artifact; returns the path written."""
-        target = pathlib.Path(path)
-        target.write_text(self.to_json())
-        return target
-
-    @classmethod
-    def from_json(cls, text: str) -> "SweepReport":
-        """Rebuild a report from :meth:`to_json` output."""
-        payload = json.loads(text)
-        results = [
-            ScenarioResult(
-                **{
-                    key: (math.nan if value is None else value)
-                    for key, value in row.items()
-                }
-            )
-            for row in payload["scenarios"]
-        ]
-        return cls(
-            results=results,
-            grid_name=payload.get("grid_name", "sweep"),
-            total_wall_s=payload.get("total_wall_s", 0.0),
-            jobs=payload.get("jobs", 1),
-            extras=payload.get("extras", {}),
-        )
-
-    # -- rendering -------------------------------------------------------------
-
-    def render(self, title: str | None = None) -> str:
-        """Per-cell percentile table plus the sweep summary block."""
-        rows = []
-        throughput = self.surface("aggregate_samples_per_s")
-        stall = self.surface("mean_stall_fraction")
-        delay = self.surface("p95_queue_delay_s")
-        power = self.surface("peak_power_watts")
-        for cell in self.cells:
-            cell_rows = self.cell_results(cell)
-            rows.append(
-                [
-                    cell,
-                    len(cell_rows),
-                    f"{sum(r.jobs_completed for r in cell_rows)}"
-                    f"/{sum(r.jobs_submitted for r in cell_rows)}",
-                    _fmt(throughput[cell]["p50"], 1e6, "{:.3f}"),
-                    _fmt(throughput[cell]["p90"], 1e6, "{:.3f}"),
-                    _fmt(stall[cell]["p90"], 0.01, "{:.0f}%"),
-                    _fmt(delay[cell]["p90"], 1.0, "{:.0f}"),
-                    _fmt(power[cell]["p100"], 1e3, "{:.0f}"),
-                ]
-            )
-        table = render_table(
-            [
-                "cell",
-                "seeds",
-                "done",
-                "p50 Msamp/s",
-                "p90 Msamp/s",
-                "p90 stall",
-                "p90 queue_s",
-                "peak kW",
-            ],
-            rows,
-            title=title or f"Scenario sweep: {self.grid_name}",
-        )
-        summary = [
-            f"scenarios: {len(self.results)} across {len(self.cells)} cells",
-        ]
-        if self.total_wall_s > 0:
-            summary.append(
-                f"wall time: {self.total_wall_s:.1f} s with {self.jobs} "
-                f"process(es) — {self.scenarios_per_s:.2f} scenarios/s"
-            )
-        return table + "\n" + "\n".join(summary)
-
-
-def _null_nans(value):
-    if isinstance(value, float) and math.isnan(value):
-        return None
-    if isinstance(value, dict):
-        return {key: _null_nans(item) for key, item in value.items()}
-    if isinstance(value, (list, tuple)):
-        return [_null_nans(item) for item in value]
-    return value
-
-
-def _fmt(value: float, scale: float, pattern: str) -> str:
-    """Render one surface entry, dashing out undefined cells."""
-    if math.isnan(value):
-        return "-"
-    return pattern.format(value / scale)

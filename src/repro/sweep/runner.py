@@ -1,122 +1,4 @@
-"""The sweep executor: scenarios across cores, results reduced.
+"""Deprecated alias module: see :mod:`repro.experiments.runner`."""
 
-:func:`run_scenario_spec` is the per-process unit of work — a module
-top-level function taking one picklable :class:`ScenarioSpec` and
-returning one picklable :class:`ScenarioResult`, so it fans out through
-``ProcessPoolExecutor`` unchanged.  :class:`SweepRunner` owns the
-fan-out policy: inline execution for ``jobs=1`` (no pool overhead,
-easiest to debug, what CI determinism tests use) and a process pool
-otherwise.  Determinism holds across both: every scenario seeds its own
-trace and fault RNGs from the spec, and :class:`SweepReport` sorts
-results by name before aggregating, so process scheduling cannot leak
-into the artifact.
-"""
-
-from __future__ import annotations
-
-import os
-import time
-from concurrent.futures import ProcessPoolExecutor
-
-from ..chaos.runner import schedule_fleet_faults
-from ..common.errors import ConfigError
-from ..fleet.jobs import JobGenerator
-from ..fleet.simulator import FleetSimulator
-from .grid import ScenarioGrid, ScenarioSpec
-from .report import ScenarioResult, SweepReport
-
-#: Events per scenario before a starved fleet is declared runaway.
-MAX_EVENTS_PER_SCENARIO = 5_000_000
-
-
-def run_scenario_spec(spec: ScenarioSpec) -> ScenarioResult:
-    """Run one scenario to completion (or horizon) and reduce it."""
-    start = time.perf_counter()
-    jobs = JobGenerator(spec.mix, seed=spec.trace_seed).generate(spec.duration_s)
-    if not jobs:
-        # A legal cell: a sparse mix over a short window can draw zero
-        # arrivals for some seed.  Report the empty outcome rather than
-        # poisoning the whole sweep.
-        return ScenarioResult(
-            name=spec.name,
-            cell=spec.cell,
-            trace_seed=spec.trace_seed,
-            jobs_submitted=0,
-            jobs_completed=0,
-            peak_concurrency=0,
-            makespan_s=0.0,
-            aggregate_samples_per_s=float("nan"),
-            mean_slowdown=float("nan"),
-            mean_stall_fraction=float("nan"),
-            p95_queue_delay_s=float("nan"),
-            mean_storage_utilization=0.0,
-            peak_storage_utilization=0.0,
-            peak_power_watts=0.0,
-            events_fired=0,
-            wall_s=time.perf_counter() - start,
-        )
-    oversized = [j for j in jobs if j.trainer_nodes > spec.config.n_trainer_nodes]
-    if oversized:
-        raise ConfigError(
-            f"scenario {spec.name}: mix draws jobs larger than the region "
-            f"({len(oversized)} need more than {spec.config.n_trainer_nodes} trainers)"
-        )
-    simulator = FleetSimulator(spec.config, jobs)
-    if spec.faults:
-        # Victim selection round-robins over the trace's job ids,
-        # rotated by the spec's stable fault seed so different cells
-        # sharing a trace target different victims.  The fault log is
-        # discarded — sweeps read distributions, not narratives.
-        job_ids = [j.job_id for j in jobs]
-        offset = spec.fault_seed % len(job_ids)
-        schedule_fleet_faults(
-            simulator, list(spec.faults), job_ids=job_ids[offset:] + job_ids[:offset]
-        )
-    fired_before = simulator.clock.fired
-    report = simulator.run(
-        horizon_s=spec.horizon_s, max_events=MAX_EVENTS_PER_SCENARIO
-    )
-    events = simulator.clock.fired - fired_before
-    return ScenarioResult.from_fleet_report(
-        name=spec.name,
-        cell=spec.cell,
-        trace_seed=spec.trace_seed,
-        report=report,
-        events_fired=events,
-        wall_s=time.perf_counter() - start,
-    )
-
-
-class SweepRunner:
-    """Fans a :class:`ScenarioGrid` across processes and aggregates."""
-
-    def __init__(self, grid: ScenarioGrid, jobs: int | None = 1) -> None:
-        """*jobs*: worker processes; 1 runs inline, ``None`` uses the
-        machine's CPU count."""
-        if jobs is None:
-            jobs = os.cpu_count() or 1
-        if jobs < 1:
-            raise ConfigError("sweep needs at least one worker process")
-        self.grid = grid
-        self.jobs = jobs
-
-    def run(self, grid_name: str = "sweep") -> SweepReport:
-        """Execute every scenario; returns the aggregated report."""
-        specs = self.grid.expand()
-        start = time.perf_counter()
-        if self.jobs == 1 or len(specs) == 1:
-            results = [run_scenario_spec(spec) for spec in specs]
-        else:
-            # chunksize amortizes IPC for big grids without starving
-            # the pool's tail on uneven scenario durations.
-            chunksize = max(1, len(specs) // (self.jobs * 4))
-            with ProcessPoolExecutor(max_workers=self.jobs) as pool:
-                results = list(
-                    pool.map(run_scenario_spec, specs, chunksize=chunksize)
-                )
-        return SweepReport(
-            results=results,
-            grid_name=grid_name,
-            total_wall_s=time.perf_counter() - start,
-            jobs=self.jobs,
-        )
+from ..experiments.runner import SweepRunner, run_scenario_spec  # noqa: F401
+from ..experiments.scenarios import MAX_EVENTS_PER_SCENARIO  # noqa: F401

@@ -12,10 +12,11 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from ..common.serialization import ReportBase, require_keys, revive_floats
 from ..common.units import GB
 from ..dpp.analytical import per_sample_cost
 from ..workloads.hardware import TrainerNodeSpec
-from ..workloads.models import ModelConfig
+from ..workloads.models import ModelConfig, model_by_name
 from .gpu import GpuDemand
 
 #: Fraction of host CPU available to preprocessing when co-located with
@@ -27,8 +28,10 @@ ON_HOST_MEM_TRAFFIC_FACTOR = 0.55
 
 
 @dataclass(frozen=True)
-class StallReport:
+class StallReport(ReportBase):
     """The Table 7 row: stalls plus host utilization."""
+
+    report_kind = "stall"
 
     model: ModelConfig
     gpu_stall_fraction: float
@@ -36,6 +39,39 @@ class StallReport:
     mem_bw_utilization: float
     supplied_samples_per_s: float
     demanded_samples_per_s: float
+
+    _FLOAT_FIELDS = (
+        "gpu_stall_fraction",
+        "cpu_utilization",
+        "mem_bw_utilization",
+        "supplied_samples_per_s",
+        "demanded_samples_per_s",
+    )
+
+    def payload(self) -> dict:
+        # The model rides along by catalog name (RM1/RM2/RM3), not as
+        # an embedded hardware-profile tree.
+        row = {name: getattr(self, name) for name in self._FLOAT_FIELDS}
+        row["model"] = self.model.name
+        return row
+
+    @classmethod
+    def from_payload(cls, payload: dict) -> "StallReport":
+        require_keys(
+            payload,
+            required=("model",) + cls._FLOAT_FIELDS,
+            context="stall report",
+        )
+        revived = revive_floats(payload, cls._FLOAT_FIELDS)
+        return cls(
+            model=model_by_name(payload["model"]),
+            **{name: revived[name] for name in cls._FLOAT_FIELDS},
+        )
+
+    def metrics(self) -> dict[str, float]:
+        return {
+            f"stall.{name}": getattr(self, name) for name in self._FLOAT_FIELDS
+        }
 
 
 def on_host_preprocessing_study(

@@ -13,14 +13,18 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from ..common.errors import TransformError
+from ..common.serialization import ReportBase, require_keys
 from .base import OpClass, Transform
 from .batch import FeatureBatch
 from .dag import TransformDag
 
 
 @dataclass
-class CostReport:
+class CostReport(ReportBase):
     """Accumulated work for one or more op applications."""
+
+    report_kind = "cost"
 
     cycles: float = 0.0
     mem_bytes: float = 0.0
@@ -37,13 +41,55 @@ class CostReport:
         self.cycles_by_class[op.op_class] += cycles
         self.elements += elements
 
-    def merge(self, other: "CostReport") -> None:
-        """Accumulate another report into this one."""
+    def merge(self, other: "ReportBase") -> "CostReport":
+        """Accumulate another report into this one (returns self)."""
+        if not isinstance(other, CostReport):
+            raise TransformError("can only merge CostReport into CostReport")
         self.cycles += other.cycles
         self.mem_bytes += other.mem_bytes
         self.elements += other.elements
         for cls, cycles in other.cycles_by_class.items():
             self.cycles_by_class[cls] += cycles
+        return self
+
+    # -- shared telemetry surface ----------------------------------------------
+
+    def payload(self) -> dict:
+        return {
+            "cycles": self.cycles,
+            "mem_bytes": self.mem_bytes,
+            "elements": self.elements,
+            "cycles_by_class": {
+                cls.value: cycles for cls, cycles in self.cycles_by_class.items()
+            },
+        }
+
+    @classmethod
+    def from_payload(cls, payload: dict) -> "CostReport":
+        require_keys(
+            payload,
+            required=("cycles", "mem_bytes", "elements", "cycles_by_class"),
+            context="cost report",
+        )
+        by_class = {op_class: 0.0 for op_class in OpClass}
+        for name, cycles in payload["cycles_by_class"].items():
+            by_class[OpClass(name)] = float(cycles)
+        return cls(
+            cycles=float(payload["cycles"]),
+            mem_bytes=float(payload["mem_bytes"]),
+            cycles_by_class=by_class,
+            elements=int(payload["elements"]),
+        )
+
+    def metrics(self) -> dict[str, float]:
+        flat = {
+            "cost.cycles": self.cycles,
+            "cost.mem_bytes": self.mem_bytes,
+            "cost.elements": float(self.elements),
+        }
+        for op_class, share in self.class_shares().items():
+            flat[f"cost.share.{op_class.value}"] = share
+        return flat
 
     def class_shares(self) -> dict[OpClass, float]:
         """Fraction of transform cycles per op class (Section 6.4)."""

@@ -1,0 +1,89 @@
+"""The named scenario registry: catalog coverage and mechanics."""
+
+import pytest
+
+from repro.common.errors import ConfigError
+from repro.experiments import (
+    DppTimelineScenario,
+    build_scenario,
+    get_scenario,
+    list_scenarios,
+    register_scenario,
+    unregister_scenario,
+)
+
+
+class TestBuiltinCatalog:
+    def test_at_least_eight_scenarios_spanning_all_kinds(self):
+        entries = list_scenarios()
+        assert len(entries) >= 8
+        assert {entry.kind for entry in entries} == {"fleet", "chaos", "dpp"}
+
+    def test_listing_is_sorted_and_stable(self):
+        names = [entry.name for entry in list_scenarios()]
+        assert names == sorted(names)
+        assert names == [entry.name for entry in list_scenarios()]
+
+    def test_kind_filter(self):
+        chaos = list_scenarios(kind="chaos")
+        assert chaos and all(entry.kind == "chaos" for entry in chaos)
+
+    def test_every_entry_builds_its_own_kind(self):
+        for entry in list_scenarios():
+            scenario = entry.build(seed=1)
+            assert scenario.kind == entry.kind
+            assert scenario.seed == 1
+            assert scenario.name.startswith(entry.name)
+
+    def test_default_seed_is_zero(self):
+        assert build_scenario("fleet/default").seed == 0
+
+
+class TestMechanics:
+    def test_unknown_name_lists_alternatives(self):
+        with pytest.raises(ConfigError, match="fleet/default"):
+            get_scenario("fleet/nope")
+
+    def test_registration_requires_namespace(self):
+        with pytest.raises(ConfigError, match="namespaced"):
+            register_scenario("flat", "dpp", "d", lambda seed: None)
+
+    def test_registration_requires_known_kind(self):
+        with pytest.raises(ConfigError, match="unknown scenario kind"):
+            register_scenario("flet/typo", "flet", "d", lambda seed: None)
+
+    def test_duplicate_registration_rejected_then_overwritable(self):
+        factory = lambda seed: DppTimelineScenario(
+            name=f"dpp/test-entry/seed{seed}", seed=seed
+        )
+        register_scenario("dpp/test-entry", "dpp", "a test entry", factory)
+        try:
+            with pytest.raises(ConfigError, match="already registered"):
+                register_scenario("dpp/test-entry", "dpp", "clash", factory)
+            register_scenario(
+                "dpp/test-entry", "dpp", "replaced", factory, overwrite=True
+            )
+            assert get_scenario("dpp/test-entry").description == "replaced"
+        finally:
+            unregister_scenario("dpp/test-entry")
+        with pytest.raises(ConfigError):
+            get_scenario("dpp/test-entry")
+
+    def test_registered_entry_runs_via_generic_runner(self):
+        from repro.experiments import ExperimentRunner
+
+        register_scenario(
+            "dpp/tiny-test",
+            "dpp",
+            "ten-second smoke",
+            lambda seed: DppTimelineScenario(
+                name=f"dpp/tiny-test/seed{seed}", seed=seed, duration_s=10.0
+            ),
+        )
+        try:
+            report = ExperimentRunner(
+                [build_scenario("dpp/tiny-test", seed=0)], jobs=1
+            ).run("registry-smoke")
+            assert report.entries[0].scenario_kind == "dpp"
+        finally:
+            unregister_scenario("dpp/tiny-test")

@@ -1,0 +1,96 @@
+"""The repro.sweep deprecation shim (ISSUE 5 back-compat satellite)."""
+
+import os
+import subprocess
+import sys
+
+import pytest
+
+
+def run_python(code: str) -> subprocess.CompletedProcess:
+    env = dict(os.environ)
+    src = os.path.abspath(
+        os.path.join(os.path.dirname(__file__), "..", "..", "src")
+    )
+    env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+    return subprocess.run(
+        [sys.executable, "-c", code], capture_output=True, text=True, env=env
+    )
+
+
+class TestDeprecationWarning:
+    def test_import_warns_exactly_once(self):
+        # A subprocess gives a clean module cache: the warning fires on
+        # first import, and only once (submodules stay silent).
+        probe = run_python(
+            "import warnings\n"
+            "with warnings.catch_warnings(record=True) as caught:\n"
+            "    warnings.simplefilter('always')\n"
+            "    import repro.sweep\n"
+            "    import repro.sweep.grid\n"
+            "    import repro.sweep.report\n"
+            "    import repro.sweep.runner\n"
+            "deprecations = [w for w in caught\n"
+            "                if issubclass(w.category, DeprecationWarning)\n"
+            "                and 'repro.sweep' in str(w.message)]\n"
+            "assert len(deprecations) == 1, [str(w.message) for w in caught]\n"
+            "assert 'repro.experiments' in str(deprecations[0].message)\n"
+        )
+        assert probe.returncode == 0, probe.stderr
+
+    def test_experiments_import_does_not_warn(self):
+        probe = run_python(
+            "import warnings\n"
+            "with warnings.catch_warnings(record=True) as caught:\n"
+            "    warnings.simplefilter('always')\n"
+            "    import repro.experiments\n"
+            "assert not [w for w in caught\n"
+            "            if issubclass(w.category, DeprecationWarning)], (\n"
+            "    [str(w.message) for w in caught])\n"
+        )
+        assert probe.returncode == 0, probe.stderr
+
+
+class TestReExports:
+    def test_names_are_the_experiments_objects(self):
+        import repro.experiments as experiments
+        import repro.sweep as sweep
+
+        assert sweep.SweepRunner is experiments.SweepRunner
+        assert sweep.SweepReport is experiments.SweepReport
+        assert sweep.ScenarioGrid is experiments.ScenarioGrid
+        assert sweep.grid_from_json is experiments.grid_from_json
+        assert sweep.run_scenario_spec is experiments.run_scenario_spec
+        # The old spec name is an alias of the fleet scenario kind.
+        assert sweep.ScenarioSpec is experiments.FleetRegionScenario
+
+    def test_submodule_paths_keep_working(self):
+        from repro.sweep.grid import ScenarioGrid  # noqa: F401
+        from repro.sweep.report import SweepReport  # noqa: F401
+        from repro.sweep.runner import SweepRunner  # noqa: F401
+
+
+class TestCliAlias:
+    def test_main_accepts_old_flags(self, tmp_path, capsys):
+        from repro.sweep.__main__ import main
+
+        out = tmp_path / "sweep.json"
+        assert (
+            main(["--quick", "--seeds", "0", "--jobs", "1", "--out", str(out)])
+            == 0
+        )
+        assert out.exists()
+        assert "Scenario sweep" in capsys.readouterr().out
+
+    def test_module_invocation_works(self, tmp_path):
+        out = tmp_path / "sweep.json"
+        probe = run_python(
+            "import sys\n"
+            "from repro.sweep.__main__ import main\n"
+            f"sys.exit(main(['--quick', '--seeds', '0', '--jobs', '1',"
+            f" '--out', {str(out)!r}, '--quiet']))\n"
+        )
+        assert probe.returncode == 0, probe.stderr
+        import json
+
+        assert json.loads(out.read_text())["scenarios"]

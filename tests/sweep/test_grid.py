@@ -125,3 +125,26 @@ class TestJsonGrids:
     def test_missing_seeds_rejected(self):
         with pytest.raises(ConfigError):
             grid_from_json({"mixes": {"default": {}}})
+
+    def test_typoed_fault_key_rejected(self):
+        from repro.common.errors import FormatError
+
+        with pytest.raises(FormatError, match="fault event"):
+            grid_from_json(
+                {
+                    "seeds": [0],
+                    "faults": {
+                        "storm": [
+                            {"kind": "worker_crash", "at_s": 100, "magntiude": 4}
+                        ]
+                    },
+                }
+            )
+
+    def test_fault_row_missing_time_rejected(self):
+        from repro.common.errors import FormatError
+
+        with pytest.raises(FormatError, match="missing"):
+            grid_from_json(
+                {"seeds": [0], "faults": {"storm": [{"kind": "worker_crash"}]}}
+            )
