@@ -12,7 +12,10 @@ reports a throughput metric:
 * ``simclock_events_per_s`` — raw discrete-event kernel throughput
   (schedule/fire chains plus cancel traffic for the lazy-deletion path);
 * ``fleet_events_per_s`` — discrete-event throughput of the fleet
-  simulator on a 32-job multi-tenant region;
+  simulator on a 32-job multi-tenant region (telemetry disabled — this
+  is also the disabled-overhead gate for the tracing plane);
+* ``traced_fleet_events_per_s`` — the same region with full sim-time
+  tracing enabled, measuring the telemetry tax;
 * ``sweep_scenarios_per_s`` — parallel scenario-sweep throughput
   (``repro.sweep`` fan-out across processes).
 
@@ -195,10 +198,10 @@ def bench_simclock(repeats: int = 3) -> list[Metric]:
     return [Metric("simclock_events_per_s", events / elapsed, "events/s", workload)]
 
 
-def bench_fleet(repeats: int = 3) -> list[Metric]:
-    """Discrete-event throughput of the fleet orchestration plane."""
+def _fleet_workload():
+    """The shared 32-job region both fleet benches run."""
     from repro.cluster.job import JobKind
-    from repro.fleet import FleetConfig, FleetJobSpec, FleetSimulator, PoolConfig, StorageFabric
+    from repro.fleet import FleetConfig, FleetJobSpec, PoolConfig, StorageFabric
     from repro.workloads.models import RM1, RM2, RM3
 
     models = (RM1, RM2, RM3)
@@ -218,6 +221,20 @@ def bench_fleet(repeats: int = 3) -> list[Metric]:
         )
         for i in range(FLEET_JOBS)
     ]
+    return config, jobs
+
+
+def bench_fleet(repeats: int = 3) -> list[Metric]:
+    """Discrete-event throughput of the fleet orchestration plane.
+
+    Telemetry stays disabled (the NULL_TRACER default), so this metric
+    doubles as the disabled-overhead gate: instrumented hot paths pay
+    one attribute check, and the 30% regression tolerance on this
+    number is the backstop if that ever stops being true.
+    """
+    from repro.fleet import FleetSimulator
+
+    config, jobs = _fleet_workload()
 
     def run_fleet() -> int:
         simulator = FleetSimulator(config, list(jobs))
@@ -227,6 +244,33 @@ def bench_fleet(repeats: int = 3) -> list[Metric]:
     elapsed, events = _timed(run_fleet, repeats=repeats)
     workload = f"{FLEET_JOBS} staggered jobs, run to completion ({events} events)"
     return [Metric("fleet_events_per_s", events / elapsed, "events/s", workload)]
+
+
+def bench_traced_fleet(repeats: int = 3) -> list[Metric]:
+    """The same fleet region with full telemetry recording on.
+
+    The gap between this and ``fleet_events_per_s`` is the tracing
+    tax: clock hook, tick spans, job-lifecycle spans, and per-sample
+    counters all live.
+    """
+    from repro.fleet import FleetSimulator
+    from repro.telemetry import Tracer
+
+    config, jobs = _fleet_workload()
+
+    def run_fleet() -> int:
+        tracer = Tracer(scenario="bench", seed=0)
+        simulator = FleetSimulator(config, list(jobs), tracer=tracer)
+        simulator.schedule()
+        events = simulator.clock.run()
+        assert tracer.event_count > 0
+        return events
+
+    elapsed, events = _timed(run_fleet, repeats=repeats)
+    workload = f"{FLEET_JOBS} staggered jobs, tracing enabled ({events} events)"
+    return [
+        Metric("traced_fleet_events_per_s", events / elapsed, "events/s", workload)
+    ]
 
 
 def bench_sweep(repeats: int = 1) -> list[Metric]:
@@ -283,6 +327,7 @@ def run_all(write: bool = True, path: pathlib.Path | None = None) -> dict:
         bench_extract,
         bench_simclock,
         bench_fleet,
+        bench_traced_fleet,
         bench_sweep,
     ):
         metrics.extend(bench())

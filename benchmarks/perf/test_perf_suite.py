@@ -28,6 +28,7 @@ REQUIRED_METRICS = {
     "extract_samples_per_s",
     "simclock_events_per_s",
     "fleet_events_per_s",
+    "traced_fleet_events_per_s",
     "sweep_scenarios_per_s",
 }
 

@@ -20,6 +20,7 @@ from typing import TYPE_CHECKING
 
 from ..common.errors import ConfigError, DppError
 from ..dpp.service import DppSession
+from ..telemetry.tracer import NULL_TRACER, Tracer
 from .faults import FaultEvent, FaultKind, FaultSchedule
 from .invariants import (
     check_checkpoint_agreement,
@@ -46,6 +47,7 @@ class ChaosRunner:
         seed: int = 0,
         max_rounds: int = 100_000,
         client_batches_per_round: int | None = None,
+        tracer: Tracer | None = None,
     ) -> None:
         """*allow_replays* defaults to whatever the schedule implies:
         crash and restart faults legitimately replay batches
@@ -71,6 +73,13 @@ class ChaosRunner:
         self.client_batches_per_round = client_batches_per_round
         self._rng = random.Random(seed)
         self._nominal_rate: float | None = None
+        # The chaos pump has no wall clock; its virtual time axis is
+        # the round index, so spans span whole rounds.
+        self._round = 0
+        self.tracer = tracer or NULL_TRACER
+        if self.tracer.enabled:
+            self.tracer.bind_clock(lambda: float(self._round))
+            session.attach_tracer(self.tracer)
 
     # -- fault application ----------------------------------------------------
 
@@ -118,6 +127,12 @@ class ChaosRunner:
         else:  # pragma: no cover - exhaustive over FaultKind
             raise DppError(f"unhandled fault kind {kind}")
         report.faults_injected.append(note)
+        if self.tracer.enabled:
+            self.tracer.instant(
+                "fault.inject", actor="chaos", kind=kind.value, note=note
+            )
+            self.tracer.metrics.counter("chaos.faults_injected").inc()
+            self.tracer.log("fault injected", kind=kind.value, note=note)
 
     def _restart_master(self, report: ChaosReport) -> None:
         """Simulate a master-process restart and verify recovery
@@ -158,13 +173,21 @@ class ChaosRunner:
         )
         records = report.records
         endgame = False
+        tracer = self.tracer
+        traced = tracer.enabled
         for round_index in range(self.max_rounds):
+            self._round = round_index
+            if traced:
+                tracer.begin("chaos.round", actor="chaos", round=round_index)
             for event in self.schedule.due(round_index):
                 self._apply(event, report)
             if session.master.done and not any(
                 worker.buffer for worker in session.serving_workers
             ):
                 report.rounds = round_index
+                if traced:
+                    # Completion check only — a zero-duration round.
+                    tracer.end(actor="chaos")
                 break
             if not session.master.done:
                 # A crash can reopen stranded splits (done regresses)
@@ -204,6 +227,10 @@ class ChaosRunner:
                         )
                     )
             session.retire_drained_workers()
+            if traced:
+                tracer.counter("chaos.delivered", len(records), actor="chaos")
+                self._round = round_index + 1
+                tracer.end(actor="chaos")
         else:
             raise DppError("chaos run exceeded max_rounds")
         if self._nominal_rate is not None:

@@ -362,6 +362,8 @@ def _import_builtin_report_modules() -> list[str]:
         "repro.experiments.report",
         "repro.experiments.runner",
         "repro.fleet.report",
+        "repro.telemetry.metrics",
+        "repro.telemetry.tracer",
         "repro.trainer.stalls",
         "repro.transforms.cost",
     ):

@@ -104,11 +104,26 @@ class SimClock:
         self._live = 0  # scheduled, not yet fired or cancelled
         self._dead = 0  # cancelled entries still sitting in the heap
         self._fired = 0  # events executed over the clock's lifetime
+        # Optional telemetry hook, called as hook(time, callback) right
+        # before each event fires.  Hoisted to a local by the drain
+        # loops, so the disabled cost is one None check per event.
+        self._trace_hook: Callable[[float, EventCallback], None] | None = None
 
     @property
     def now(self) -> float:
         """Current virtual time in seconds."""
         return self._now
+
+    def set_trace_hook(
+        self, hook: Callable[[float, EventCallback], None] | None
+    ) -> None:
+        """Install (or clear, with ``None``) the per-event telemetry hook.
+
+        The hook must not schedule or cancel events.  Drain loops read
+        it once on entry, so installing mid-drain takes effect on the
+        next :meth:`run`/:meth:`run_until`/:meth:`step` call.
+        """
+        self._trace_hook = hook
 
     def schedule(self, delay: float, callback: EventCallback) -> EventHandle:
         """Run *callback* after *delay* seconds of virtual time."""
@@ -196,6 +211,7 @@ class SimClock:
         heap = self._heap
         callbacks = self._callbacks
         pop = heapq.heappop
+        trace = self._trace_hook
         while heap:
             time, _seq, slot = pop(heap)
             callback = callbacks[slot]
@@ -208,6 +224,8 @@ class SimClock:
             self._live -= 1
             self._fired += 1
             self._now = time
+            if trace is not None:
+                trace(time, callback)
             callback()
             return True
         return False
@@ -223,6 +241,7 @@ class SimClock:
         callbacks = self._callbacks
         free = self._free_slots
         pop = heapq.heappop
+        trace = self._trace_hook
         while heap:
             time, _seq, slot = heap[0]
             if callbacks[slot] is None:
@@ -242,6 +261,8 @@ class SimClock:
             self._live -= 1
             self._fired += 1
             self._now = time
+            if trace is not None:
+                trace(time, callback)
             callback()
         self._now = max(self._now, deadline)
 
@@ -255,6 +276,7 @@ class SimClock:
         callbacks = self._callbacks
         free = self._free_slots
         pop = heapq.heappop
+        trace = self._trace_hook
         while heap and fired < max_events:
             time, _seq, slot = pop(heap)
             callback = callbacks[slot]
@@ -267,6 +289,8 @@ class SimClock:
             self._live -= 1
             self._fired += 1
             self._now = time
+            if trace is not None:
+                trace(time, callback)
             callback()
             fired += 1
         # Guard on live events, not the physical heap: lazily-deleted

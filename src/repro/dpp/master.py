@@ -13,6 +13,7 @@ from dataclasses import dataclass, field
 
 from ..common.errors import DppError
 from ..common.hashing import stable_fraction
+from ..telemetry.tracer import NULL_TRACER, Tracer
 from ..dwrf.layout import FileFooter
 from .spec import SessionSpec
 from .split import Split, SplitState, plan_splits
@@ -69,6 +70,9 @@ class DppMaster:
             split.split_id: _SplitRecord(split) for split in splits
         }
         self._registered_workers: set[str] = set()
+        # Settable telemetry recorder (kept out of the constructor so
+        # every existing call site and pickle path stays unchanged).
+        self.tracer: Tracer = NULL_TRACER
 
     # -- worker membership ---------------------------------------------------
 
@@ -104,6 +108,19 @@ class DppMaster:
                 record.state = SplitState.PENDING
                 record.assigned_to = None
                 requeued.append(split_id)
+        if self.tracer.enabled:
+            for split_id in requeued:
+                self.tracer.instant(
+                    "split.requeue",
+                    actor="master",
+                    split_id=split_id,
+                    worker=worker_id,
+                )
+            self.tracer.log(
+                "worker failed",
+                worker=worker_id,
+                requeued=len(requeued),
+            )
         return requeued
 
     @property
@@ -121,6 +138,13 @@ class DppMaster:
             if record.state is SplitState.PENDING:
                 record.state = SplitState.ASSIGNED
                 record.assigned_to = worker_id
+                if self.tracer.enabled:
+                    self.tracer.instant(
+                        "split.assign",
+                        actor="master",
+                        split_id=record.split.split_id,
+                        worker=worker_id,
+                    )
                 return record.split
         return None
 
@@ -133,6 +157,13 @@ class DppMaster:
             )
         record.state = SplitState.COMPLETED
         record.assigned_to = None
+        if self.tracer.enabled:
+            self.tracer.instant(
+                "split.complete",
+                actor="master",
+                split_id=split_id,
+                worker=worker_id,
+            )
 
     def _record(self, split_id: int) -> _SplitRecord:
         try:
@@ -234,6 +265,13 @@ class ReplicatedMaster:
         self._standby_checkpoint = self.primary.checkpoint()
         self._standby_workers: set[str] = set()
         self.failovers = 0
+        self.tracer: Tracer = NULL_TRACER
+
+    def attach_tracer(self, tracer: Tracer) -> None:
+        """Report master activity through *tracer* (carried across
+        fail-overs onto each promoted replica)."""
+        self.tracer = tracer
+        self.primary.tracer = tracer
 
     def register_worker(self, worker_id: str) -> None:
         """Register on the primary and mirror membership to the standby."""
@@ -288,8 +326,13 @@ class ReplicatedMaster:
         replacement.restore(self._standby_checkpoint)
         for worker_id in self._standby_workers:
             replacement.register_worker(worker_id)
+        replacement.tracer = self.tracer
         self.primary = replacement
         self.failovers += 1
+        if self.tracer.enabled:
+            self.tracer.instant(
+                "master.failover", actor="master", failovers=self.failovers
+            )
 
     @property
     def done(self) -> bool:

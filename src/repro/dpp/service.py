@@ -15,6 +15,7 @@ from dataclasses import dataclass, field
 
 from ..common.errors import DppError
 from ..common.simclock import SimClock
+from ..telemetry.tracer import NULL_TRACER, Tracer
 from ..dwrf.layout import FileFooter
 from ..tectonic.filesystem import TectonicFilesystem
 from ..warehouse.publish import partition_file_name
@@ -89,6 +90,7 @@ class DppSession:
             coalesce_window=spec.coalesce_window,
             row_sample_rate=spec.row_sample_rate,
         )
+        self.tracer: Tracer = NULL_TRACER
         self.master = ReplicatedMaster(path_spec, self.footers)
         self.worker_config = worker_config or WorkerConfig()
         self._worker_ids = itertools.count()
@@ -110,7 +112,20 @@ class DppSession:
             footers=self.footers,
             config=self.worker_config,
         )
+        worker.tracer = self.tracer
         return worker
+
+    def attach_tracer(self, tracer: Tracer) -> None:
+        """Report session activity through *tracer*.
+
+        Covers the current master and workers plus everything spawned
+        later (scale-ups, master restarts): spawn and restart paths
+        re-read ``self.tracer``.
+        """
+        self.tracer = tracer
+        self.master.attach_tracer(tracer)
+        for worker in self.workers:
+            worker.tracer = tracer
 
     # -- fleet management ------------------------------------------------------
 
@@ -160,11 +175,14 @@ class DppSession:
         checkpoint = self.master.checkpoint()
         replacement = ReplicatedMaster(self.master.primary.spec, self.footers)
         replacement.restore(checkpoint)
+        replacement.attach_tracer(self.tracer)
         for worker in self.serving_workers:
             replacement.register_worker(worker.worker_id)
         self.master = replacement
         for worker in self.workers:
             worker.master = replacement
+        if self.tracer.enabled:
+            self.tracer.instant("master.restart", actor="master")
 
     def run_autoscaler(self) -> int:
         """Collect telemetry, evaluate the controller, apply the delta."""
@@ -188,6 +206,13 @@ class DppSession:
             )
         decision = self.controller.evaluate(telemetry)
         if decision.delta:
+            if self.tracer.enabled:
+                self.tracer.instant(
+                    "session.scale",
+                    actor="session",
+                    delta=decision.delta,
+                    action=decision.action,
+                )
             self.scale(decision.delta)
             stamp = f"t={self.clock.now:.0f}s " if self.clock is not None else ""
             self.report.scaling_events.append(

@@ -22,6 +22,7 @@ from dataclasses import dataclass, field
 from ..common.errors import DppError
 from ..common.serialization import ReportBase, require_keys, revive_floats
 from ..common.simclock import SimClock
+from ..telemetry.tracer import NULL_TRACER, Tracer
 from .autoscaler import AutoscalerConfig, AutoscalingController
 
 
@@ -180,9 +181,17 @@ class TimedDppSimulation:
     the clock itself.
     """
 
-    def __init__(self, config: SimulationConfig, clock: SimClock | None = None) -> None:
+    def __init__(
+        self,
+        config: SimulationConfig,
+        clock: SimClock | None = None,
+        tracer: Tracer | None = None,
+    ) -> None:
         self.config = config
         self.clock = clock or SimClock()
+        self.tracer = tracer or NULL_TRACER
+        if self.tracer.enabled:
+            self.tracer.bind_clock(lambda: self.clock.now)
         self.controller = AutoscalingController(config.autoscaler)
         self._live_workers = config.initial_workers
         self._pending: list[float] = []  # spin-up completion times
@@ -222,6 +231,15 @@ class TimedDppSimulation:
                 stalled=stalled,
             )
         )
+        tracer = self.tracer
+        if tracer.enabled:
+            tracer.counter("dpp.buffered_batches", self._buffer, actor="session")
+            tracer.counter("dpp.live_workers", self._live_workers, actor="session")
+            if stalled:
+                tracer.instant(
+                    "trainer.stall", actor="session", shortfall=demand - consumed
+                )
+            tracer.metrics.counter("dpp.ticks").inc()
 
     def _controller_step(self) -> None:
         config = self.config
@@ -245,11 +263,16 @@ class TimedDppSimulation:
             headroom = config.autoscaler.max_workers - (
                 self._live_workers + len(self._pending)
             )
-            for _ in range(min(decision.delta, max(0, headroom))):
+            launched = min(decision.delta, max(0, headroom))
+            for _ in range(launched):
                 self._pending.append(self.clock.now + config.worker_spinup_s)
             self._decisions.append(
                 f"t={self.clock.now:.0f}s launch {decision.delta}: {decision.reason}"
             )
+            if self.tracer.enabled:
+                self.tracer.instant(
+                    "session.scale", actor="session", delta=launched
+                )
         elif decision.delta < 0:
             drain = min(-decision.delta, self._live_workers - 1)
             self._live_workers -= drain
@@ -257,6 +280,10 @@ class TimedDppSimulation:
                 self._decisions.append(
                     f"t={self.clock.now:.0f}s drain {drain}: {decision.reason}"
                 )
+                if self.tracer.enabled:
+                    self.tracer.instant(
+                        "session.scale", actor="session", delta=-drain
+                    )
 
     # -- fault injection -------------------------------------------------------
 
@@ -269,7 +296,10 @@ class TimedDppSimulation:
         """
         if count < 0:
             raise DppError("cannot lose a negative number of workers")
-        self._live_workers = max(1, self._live_workers - count)
+        lost = self._live_workers - max(1, self._live_workers - count)
+        self._live_workers -= lost
+        if self.tracer.enabled:
+            self.tracer.instant("worker.loss", actor="session", lost=lost)
 
     # -- driver ----------------------------------------------------------------
 

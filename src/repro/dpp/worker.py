@@ -25,6 +25,7 @@ import numpy as np
 
 from ..common.errors import DppError, WorkerFailure
 from ..common.resources import ResourceUsage
+from ..telemetry.tracer import NULL_TRACER, Tracer
 from ..dwrf.layout import FileFooter, FileLayout
 from ..dwrf.reader import DwrfReader, IOTrace, ReadOptions
 from ..dwrf.stream import ROW_LEVEL, StreamKind
@@ -117,6 +118,8 @@ class DppWorker:
         self.alive = True
         self.draining = False
         self._crash_after_batches: int | None = None
+        # Settable telemetry recorder (the owning session attaches it).
+        self.tracer: Tracer = NULL_TRACER
         master.register_worker(worker_id)
 
     # -- control -----------------------------------------------------------
@@ -135,6 +138,10 @@ class DppWorker:
             {batch.split_id for batch in self.buffer if batch.split_id is not None}
         )
         self.buffer.clear()
+        if self.tracer.enabled:
+            self.tracer.instant(
+                "worker.fail", actor=self.worker_id, stranded=len(stranded)
+            )
         self.master.worker_failed(self.worker_id, stranded_split_ids=stranded)
 
     def drain(self) -> None:
@@ -180,25 +187,35 @@ class DppWorker:
         split = self.master.request_split(self.worker_id)
         if split is None:
             return False
-        sequence = 0
-        for batch in self._extract_split(split):
-            transform_report = execute_with_cost(self.spec.dag, batch)
-            self._charge_transform(transform_report)
-            self._load(batch, split.split_id, sequence)
-            sequence += 1
-            if (
-                self._crash_after_batches is not None
-                and sequence >= self._crash_after_batches
-            ):
-                # Die mid-split: the split is still ASSIGNED, so fail()
-                # makes the master requeue it; its partial batches are
-                # discarded with the buffer.
-                self._crash_after_batches = None
-                self.fail()
-                return True
-        self.master.complete_split(self.worker_id, split.split_id)
-        self.stats.splits_completed += 1
-        return True
+        tracer = self.tracer
+        traced = tracer.enabled
+        if traced:
+            tracer.begin(
+                "split.process", actor=self.worker_id, split_id=split.split_id
+            )
+        try:
+            sequence = 0
+            for batch in self._extract_split(split):
+                transform_report = execute_with_cost(self.spec.dag, batch)
+                self._charge_transform(transform_report)
+                self._load(batch, split.split_id, sequence)
+                sequence += 1
+                if (
+                    self._crash_after_batches is not None
+                    and sequence >= self._crash_after_batches
+                ):
+                    # Die mid-split: the split is still ASSIGNED, so fail()
+                    # makes the master requeue it; its partial batches are
+                    # discarded with the buffer.
+                    self._crash_after_batches = None
+                    self.fail()
+                    return True
+            self.master.complete_split(self.worker_id, split.split_id)
+            self.stats.splits_completed += 1
+            return True
+        finally:
+            if traced:
+                tracer.end(actor=self.worker_id)
 
     @property
     def buffered_batches(self) -> int:
@@ -225,6 +242,13 @@ class DppWorker:
             return None
         batch = self.buffer.popleft()
         self.stats.batches_served += 1
+        if self.tracer.enabled:
+            self.tracer.instant(
+                "batch.serve",
+                actor=self.worker_id,
+                split_id=-1 if batch.split_id is None else batch.split_id,
+                sequence=-1 if batch.sequence is None else batch.sequence,
+            )
         wire = batch.wire_bytes()
         self.stats.tensor_tx_bytes += wire
         self.stats.usage.nic_tx_bytes += wire
@@ -415,6 +439,13 @@ class DppWorker:
         tensors.split_id = split_id
         tensors.sequence = sequence
         self.buffer.append(tensors)
+        if self.tracer.enabled:
+            self.tracer.instant(
+                "batch.load",
+                actor=self.worker_id,
+                split_id=split_id,
+                sequence=sequence,
+            )
         self.stats.batches_produced += 1
         self.stats.usage.memory_resident_bytes = sum(
             t.nbytes() for t in self.buffer

@@ -44,7 +44,9 @@ from .runner import (
     SweepRunner,
     fan_out,
     run_experiment,
+    run_experiment_traced,
     run_scenario_spec,
+    run_scenario_spec_traced,
 )
 from .scenarios import (
     ChaosSessionScenario,
@@ -77,7 +79,9 @@ __all__ = [
     "quick_grid",
     "register_scenario",
     "run_experiment",
+    "run_experiment_traced",
     "run_scenario_spec",
+    "run_scenario_spec_traced",
     "scenario_from_json",
     "scenario_kinds",
     "unregister_scenario",

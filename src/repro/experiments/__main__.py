@@ -21,11 +21,39 @@ from __future__ import annotations
 import argparse
 import dataclasses
 import sys
+import time
 
+from ..telemetry.logs import configure_logging
 from .base import scenario_kinds
 from .grid import ScenarioGrid, grid_from_json, quick_grid
 from .registry import build_scenario, list_scenarios
-from .runner import SweepRunner, run_experiment
+from .runner import SweepRunner, run_experiment, run_experiment_traced
+
+
+def _progress_printer(label: str, period_s: float = 1.0):
+    """A ``progress(done, total)`` callback printing throttled lines.
+
+    Writes to stderr so progress never contaminates piped artifacts.
+    ETA comes from the wall clock, which is why it lives only here in
+    the CLI — never in anything an artifact records.
+    """
+    start = time.perf_counter()
+    last = [0.0]
+
+    def progress(done: int, total: int) -> None:
+        now = time.perf_counter()
+        if done < total and now - last[0] < period_s:
+            return
+        last[0] = now
+        elapsed = now - start
+        eta = elapsed / done * (total - done) if done else float("inf")
+        print(
+            f"{label}: {done}/{total} cells done, "
+            f"{elapsed:.0f}s elapsed, eta {eta:.0f}s",
+            file=sys.stderr,
+        )
+
+    return progress
 
 
 def _cmd_list(args: argparse.Namespace) -> int:
@@ -51,7 +79,10 @@ def _cmd_run(args: argparse.Namespace) -> int:
     if args.spec:
         print(scenario.to_json(), end="")
         return 0
-    entry = run_experiment(scenario)
+    if args.trace:
+        entry, trace = run_experiment_traced(scenario)
+    else:
+        entry, trace = run_experiment(scenario), None
     report = entry.report
     if not args.quiet:
         render = getattr(report, "render", None) or getattr(
@@ -62,6 +93,9 @@ def _cmd_run(args: argparse.Namespace) -> int:
     if args.out:
         target = report.write(args.out)
         print(f"report artifact → {target}")
+    if trace is not None:
+        target = trace.write(args.trace)
+        print(f"trace artifact → {target}")
     return 0
 
 
@@ -77,12 +111,21 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             grid = dataclasses.replace(grid, seeds=seeds)
 
     runner = SweepRunner(grid, jobs=args.jobs or None)
-    report = runner.run(grid_name=args.name)
+    progress = None if args.quiet else _progress_printer(args.name)
+    if args.trace:
+        report, trace = runner.run_traced(
+            grid_name=args.name, progress=progress
+        )
+    else:
+        report, trace = runner.run(grid_name=args.name, progress=progress), None
     if not args.quiet:
         print(report.render())
     if args.out:
         target = report.write(args.out)
         print(f"sweep artifact → {target}")
+    if trace is not None:
+        target = trace.write(args.trace)
+        print(f"trace artifact → {target}")
     return 0
 
 
@@ -113,12 +156,25 @@ def build_parser(prog: str = "python -m repro.experiments") -> argparse.Argument
     )
     run_parser.add_argument("--out", help="write the report JSON here")
     run_parser.add_argument(
+        "--trace",
+        metavar="PATH",
+        help="record sim-time telemetry and write the Trace report here "
+        "(export to Chrome format with `python -m repro.telemetry export`)",
+    )
+    run_parser.add_argument(
         "--spec",
         action="store_true",
         help="print the scenario's JSON spec instead of running it",
     )
     run_parser.add_argument(
         "--quiet", action="store_true", help="suppress the rendered report"
+    )
+    run_parser.add_argument(
+        "-v",
+        "--verbose",
+        action="count",
+        default=0,
+        help="structured JSON logs on stderr (-v info, -vv debug)",
     )
     run_parser.set_defaults(handler=_cmd_run)
 
@@ -147,7 +203,22 @@ def build_parser(prog: str = "python -m repro.experiments") -> argparse.Argument
     )
     sweep_parser.add_argument("--out", help="write the SweepReport JSON here")
     sweep_parser.add_argument(
-        "--quiet", action="store_true", help="suppress the rendered table"
+        "--trace",
+        metavar="PATH",
+        help="record per-cell sim-time telemetry and write the merged "
+        "Trace report here",
+    )
+    sweep_parser.add_argument(
+        "--quiet",
+        action="store_true",
+        help="suppress the rendered table and progress lines",
+    )
+    sweep_parser.add_argument(
+        "-v",
+        "--verbose",
+        action="count",
+        default=0,
+        help="structured JSON logs on stderr (-v info, -vv debug)",
     )
     sweep_parser.set_defaults(handler=_cmd_sweep)
     return parser
@@ -155,6 +226,13 @@ def build_parser(prog: str = "python -m repro.experiments") -> argparse.Argument
 
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
+    verbose = getattr(args, "verbose", 0)
+    if verbose:
+        # Explicit -v wins: --quiet silences rendering and progress,
+        # not logs the user asked for.
+        configure_logging(verbose)
+    else:
+        configure_logging(-1 if getattr(args, "quiet", False) else 0)
     return args.handler(args)
 
 

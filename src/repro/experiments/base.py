@@ -38,6 +38,7 @@ from ..common.serialization import (
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..common.serialization import ReportBase
+    from ..telemetry.tracer import Tracer
 
 #: Bumped when the scenario envelope changes shape.
 SCENARIO_SCHEMA_VERSION = 1
@@ -75,6 +76,16 @@ class Scenario(abc.ABC):
     @abc.abstractmethod
     def run(self) -> "ReportBase":
         """Execute the experiment and return its report."""
+
+    def run_traced(self, tracer: "Tracer") -> "ReportBase":
+        """Execute while recording spans and metrics into *tracer*.
+
+        The built-in kinds thread the tracer through their execution
+        engines; a kind without instrumentation falls back to an
+        untraced run (the tracer still captures nothing rather than
+        failing, so mixed batches trace what they can).
+        """
+        return self.run()
 
     @abc.abstractmethod
     def params(self) -> dict:

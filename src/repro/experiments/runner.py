@@ -26,32 +26,59 @@ from __future__ import annotations
 
 import os
 import time
-from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import ProcessPoolExecutor, as_completed
 from dataclasses import dataclass
 from typing import Callable, Sequence
 
 from ..common.errors import ConfigError
 from ..common.serialization import ReportBase, require_keys, revive_float
+from ..telemetry.tracer import Trace, Tracer, merge_traces
 from .base import Scenario
 from .grid import ScenarioGrid
 from .report import ScenarioResult, SweepReport
 from .scenarios import FleetRegionScenario, MAX_EVENTS_PER_SCENARIO
 
+#: ``progress(done, total)`` — called after each completed item.
+ProgressFn = Callable[[int, int], None]
 
-def fan_out(items: Sequence, fn: Callable, jobs: int) -> list:
+
+def fan_out(
+    items: Sequence,
+    fn: Callable,
+    jobs: int,
+    progress: ProgressFn | None = None,
+) -> list:
     """Apply *fn* over *items*, inline or across worker processes.
 
     ``jobs=1`` (or a single item) runs inline — no pool overhead,
     easiest to debug, what CI determinism tests use.  Results come back
     in input order either way, so fan-out width cannot reorder them.
+
+    *progress* is called after each item finishes — in completion
+    order, which process scheduling may permute; only the counts are
+    meaningful, never an item identity.
     """
     if jobs == 1 or len(items) <= 1:
-        return [fn(item) for item in items]
-    # chunksize amortizes IPC for big batches without starving the
-    # pool's tail on uneven scenario durations.
-    chunksize = max(1, len(items) // (jobs * 4))
+        results = []
+        for item in items:
+            results.append(fn(item))
+            if progress is not None:
+                progress(len(results), len(items))
+        return results
     with ProcessPoolExecutor(max_workers=jobs) as pool:
-        return list(pool.map(fn, items, chunksize=chunksize))
+        if progress is None:
+            # chunksize amortizes IPC for big batches without starving
+            # the pool's tail on uneven scenario durations.
+            chunksize = max(1, len(items) // (jobs * 4))
+            return list(pool.map(fn, items, chunksize=chunksize))
+        # Per-item futures so completions surface as they happen; the
+        # result list still assembles in input order.
+        futures = [pool.submit(fn, item) for item in items]
+        done = 0
+        for _ in as_completed(futures):
+            done += 1
+            progress(done, len(futures))
+        return [future.result() for future in futures]
 
 
 def _resolve_jobs(jobs: int | None) -> int:
@@ -66,7 +93,9 @@ def _resolve_jobs(jobs: int | None) -> int:
 # -- the sweep specialization --------------------------------------------------
 
 
-def run_scenario_spec(spec: FleetRegionScenario) -> ScenarioResult:
+def run_scenario_spec(
+    spec: FleetRegionScenario, tracer: Tracer | None = None
+) -> ScenarioResult:
     """Run one fleet scenario to completion (or horizon) and reduce it.
 
     Module top-level so it fans through ``ProcessPoolExecutor``
@@ -74,7 +103,7 @@ def run_scenario_spec(spec: FleetRegionScenario) -> ScenarioResult:
     in the worker process; only the flat result crosses back.
     """
     start = time.perf_counter()
-    simulator = spec.build()
+    simulator = spec.build(tracer=tracer)
     if simulator is None:
         return ScenarioResult.empty(
             name=spec.name,
@@ -97,6 +126,19 @@ def run_scenario_spec(spec: FleetRegionScenario) -> ScenarioResult:
     )
 
 
+def run_scenario_spec_traced(
+    spec: FleetRegionScenario,
+) -> tuple[ScenarioResult, Trace]:
+    """Traced counterpart of :func:`run_scenario_spec`.
+
+    Each invocation builds its *own* tracer — tracers never cross a
+    process boundary; only the frozen (picklable) trace ships back.
+    """
+    tracer = Tracer(scenario=spec.name, seed=spec.trace_seed)
+    result = run_scenario_spec(spec, tracer)
+    return result, tracer.freeze()
+
+
 class SweepRunner:
     """Fans a :class:`ScenarioGrid` across processes and aggregates."""
 
@@ -106,17 +148,36 @@ class SweepRunner:
         self.grid = grid
         self.jobs = _resolve_jobs(jobs)
 
-    def run(self, grid_name: str = "sweep") -> SweepReport:
+    def run(
+        self, grid_name: str = "sweep", progress: ProgressFn | None = None
+    ) -> SweepReport:
         """Execute every scenario; returns the aggregated report."""
         specs = self.grid.expand()
         start = time.perf_counter()
-        results = fan_out(specs, run_scenario_spec, self.jobs)
+        results = fan_out(specs, run_scenario_spec, self.jobs, progress)
         return SweepReport(
             results=results,
             grid_name=grid_name,
             total_wall_s=time.perf_counter() - start,
             jobs=self.jobs,
         )
+
+    def run_traced(
+        self, grid_name: str = "sweep", progress: ProgressFn | None = None
+    ) -> tuple[SweepReport, Trace]:
+        """Execute with per-cell tracing; the merged trace holds one
+        process per cell, in canonical (name-sorted) order regardless
+        of fan-out width."""
+        specs = self.grid.expand()
+        start = time.perf_counter()
+        pairs = fan_out(specs, run_scenario_spec_traced, self.jobs, progress)
+        report = SweepReport(
+            results=[result for result, _ in pairs],
+            grid_name=grid_name,
+            total_wall_s=time.perf_counter() - start,
+            jobs=self.jobs,
+        )
+        return report, merge_traces([trace for _, trace in pairs])
 
 
 # -- the general plane ---------------------------------------------------------
@@ -164,6 +225,27 @@ def run_experiment(scenario: Scenario) -> ExperimentEntry:
         wall_s=time.perf_counter() - start,
         report=report,
     )
+
+
+def run_experiment_traced(
+    scenario: Scenario,
+) -> tuple[ExperimentEntry, Trace]:
+    """Run one scenario of any kind with a fresh per-scenario tracer.
+
+    The tracer is built in the executing process (tracers never cross
+    a process boundary) and frozen into a picklable
+    :class:`~repro.telemetry.tracer.Trace` for the return trip.
+    """
+    tracer = Tracer(scenario=scenario.name, seed=scenario.seed)
+    start = time.perf_counter()
+    report = scenario.run_traced(tracer)
+    entry = ExperimentEntry(
+        name=scenario.name,
+        scenario_kind=scenario.kind,
+        wall_s=time.perf_counter() - start,
+        report=report,
+    )
+    return entry, tracer.freeze()
 
 
 @dataclass
@@ -305,13 +387,37 @@ class ExperimentRunner:
         self.scenarios = list(scenarios)
         self.jobs = _resolve_jobs(jobs)
 
-    def run(self, experiment_name: str = "experiment") -> ExperimentReport:
+    def run(
+        self,
+        experiment_name: str = "experiment",
+        progress: ProgressFn | None = None,
+    ) -> ExperimentReport:
         """Execute every scenario; returns the batched report."""
         start = time.perf_counter()
-        entries = fan_out(self.scenarios, run_experiment, self.jobs)
+        entries = fan_out(self.scenarios, run_experiment, self.jobs, progress)
         return ExperimentReport(
             entries=entries,
             experiment_name=experiment_name,
             total_wall_s=time.perf_counter() - start,
             jobs=self.jobs,
         )
+
+    def run_traced(
+        self,
+        experiment_name: str = "experiment",
+        progress: ProgressFn | None = None,
+    ) -> tuple[ExperimentReport, Trace]:
+        """Execute with per-scenario tracing; the merged trace holds
+        one process per scenario (names are unique within a batch, so
+        the merge cannot collide)."""
+        start = time.perf_counter()
+        pairs = fan_out(
+            self.scenarios, run_experiment_traced, self.jobs, progress
+        )
+        report = ExperimentReport(
+            entries=[entry for entry, _ in pairs],
+            experiment_name=experiment_name,
+            total_wall_s=time.perf_counter() - start,
+            jobs=self.jobs,
+        )
+        return report, merge_traces([trace for _, trace in pairs])

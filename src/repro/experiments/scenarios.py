@@ -23,7 +23,7 @@ from a sweep can be replayed from its artifact alone.
 from __future__ import annotations
 
 from dataclasses import dataclass, fields, replace
-from typing import Any, Mapping
+from typing import TYPE_CHECKING, Any, Mapping
 
 from ..chaos.faults import FaultEvent, FaultKind, FaultSchedule, seeded_schedule
 from ..common.errors import ConfigError, FormatError
@@ -35,6 +35,9 @@ from ..fleet.jobs import FleetMix, JobGenerator
 from ..fleet.simulator import FleetConfig, FleetSimulator
 from ..fleet.report import FleetReport
 from .base import Scenario
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..telemetry.tracer import Tracer
 
 #: Fault kinds a fleet-plane scenario may inject (the simulator's
 #: public chaos hooks); per-session kinds belong to the chaos kind.
@@ -235,7 +238,7 @@ class FleetRegionScenario(Scenario):
 
     # -- execution -------------------------------------------------------------
 
-    def build(self) -> FleetSimulator | None:
+    def build(self, tracer: "Tracer | None" = None) -> FleetSimulator | None:
         """A simulator loaded with this scenario's trace and faults.
 
         ``None`` for the legal empty cell: a sparse mix over a short
@@ -255,7 +258,7 @@ class FleetRegionScenario(Scenario):
                 f"({len(oversized)} need more than "
                 f"{self.config.n_trainer_nodes} trainers)"
             )
-        simulator = FleetSimulator(self.config, jobs)
+        simulator = FleetSimulator(self.config, jobs, tracer=tracer)
         if self.faults:
             # Victim selection round-robins over the trace's job ids,
             # rotated by the stable fault seed so different cells
@@ -272,9 +275,8 @@ class FleetRegionScenario(Scenario):
             )
         return simulator
 
-    def run(self) -> FleetReport:
-        """Run the region to completion (or horizon); full fleet report."""
-        simulator = self.build()
+    def _execute(self, tracer: "Tracer | None") -> FleetReport:
+        simulator = self.build(tracer=tracer)
         if simulator is None:
             return FleetReport(
                 outcomes=[],
@@ -284,6 +286,14 @@ class FleetRegionScenario(Scenario):
         return simulator.run(
             horizon_s=self.horizon_s, max_events=MAX_EVENTS_PER_SCENARIO
         )
+
+    def run(self) -> FleetReport:
+        """Run the region to completion (or horizon); full fleet report."""
+        return self._execute(None)
+
+    def run_traced(self, tracer: "Tracer") -> FleetReport:
+        """Run with *tracer* recording tick phases and job lifecycles."""
+        return self._execute(tracer)
 
     # -- serialization ---------------------------------------------------------
 
@@ -429,7 +439,7 @@ class ChaosSessionScenario(Scenario):
             )
         return FaultSchedule(events)
 
-    def run(self) -> ReportBase:
+    def _execute(self, tracer: "Tracer | None") -> ReportBase:
         from ..chaos.runner import ChaosRunner
 
         runner = ChaosRunner(
@@ -438,8 +448,17 @@ class ChaosSessionScenario(Scenario):
             scenario=self.name,
             seed=self.seed,
             client_batches_per_round=self.client_batches_per_round,
+            tracer=tracer,
         )
         return runner.run()
+
+    def run(self) -> ReportBase:
+        return self._execute(None)
+
+    def run_traced(self, tracer: "Tracer") -> ReportBase:
+        """Run with *tracer* recording rounds, faults, and the split
+        lifecycle (time axis: the round index)."""
+        return self._execute(tracer)
 
     # -- serialization ---------------------------------------------------------
 
@@ -537,7 +556,7 @@ class DppTimelineScenario(Scenario):
 
     # -- execution -------------------------------------------------------------
 
-    def run(self) -> ReportBase:
+    def _execute(self, tracer: "Tracer | None") -> ReportBase:
         from ..dpp.autoscaler import AutoscalerConfig
         from ..dpp.simulation import SimulationConfig, TimedDppSimulation
 
@@ -550,12 +569,20 @@ class DppTimelineScenario(Scenario):
             tick_s=self.tick_s,
             autoscaler=AutoscalerConfig(max_workers=self.max_workers),
         )
-        simulation = TimedDppSimulation(config)
+        simulation = TimedDppSimulation(config, tracer=tracer)
         for when, count in self.worker_losses:
             simulation.clock.schedule_at(
                 when, lambda count=count: simulation.inject_worker_loss(count)
             )
         return simulation.run(self.duration_s)
+
+    def run(self) -> ReportBase:
+        return self._execute(None)
+
+    def run_traced(self, tracer: "Tracer") -> ReportBase:
+        """Run with *tracer* recording buffer/fleet counters and
+        scaling decisions on the simulation's virtual clock."""
+        return self._execute(tracer)
 
     # -- serialization ---------------------------------------------------------
 

@@ -25,6 +25,7 @@ from typing import Sequence
 import numpy as np
 
 from ..common.errors import ConfigError, StorageError
+from ..telemetry.tracer import NULL_TRACER, Tracer
 from ..tectonic.filesystem import TectonicFilesystem
 from ..tectonic.media import COALESCE_WINDOW_BYTES, MediaModel, hdd_node, ssd_node
 
@@ -197,6 +198,25 @@ class StorageBroker:
         # resolve them once.
         self._hdd_bandwidth = fabric.hdd_bandwidth
         self._ssd_bandwidth = fabric.ssd_bandwidth
+        # Telemetry (attach_tracer): lifecycle/derate instants plus
+        # cache-memo hit/miss counters.  The shared NULL_TRACER keeps
+        # every site to a single `enabled` check when tracing is off.
+        self.tracer = NULL_TRACER
+        self._cache_hits = NULL_TRACER.metrics.counter(
+            "broker.cache_memo_hits"
+        )
+        self._cache_misses = NULL_TRACER.metrics.counter(
+            "broker.cache_memo_misses"
+        )
+
+    def attach_tracer(self, tracer: Tracer) -> None:
+        """Report broker activity through *tracer* (whose clock the
+        owning simulator has already bound)."""
+        self.tracer = tracer
+        self._cache_hits = tracer.metrics.counter("broker.cache_memo_hits")
+        self._cache_misses = tracer.metrics.counter(
+            "broker.cache_memo_misses"
+        )
 
     # -- fault injection -----------------------------------------------------
 
@@ -214,6 +234,10 @@ class StorageBroker:
         if not 0 < fraction <= 1:
             raise StorageError("bandwidth derate must be in (0, 1]")
         self._bandwidth_derate = fraction
+        if self.tracer.enabled:
+            self.tracer.instant(
+                "broker.derate", actor="broker", fraction=fraction
+            )
         # Derates mark an epoch boundary for the memoized absorption
         # values alongside register/unregister: recompute conservatively
         # rather than reason about which knob feeds which cached value.
@@ -235,6 +259,13 @@ class StorageBroker:
         self._sessions[job_id] = _SessionRecord(
             dataset_bytes, popularity_bytes_for_80pct
         )
+        if self.tracer.enabled:
+            self.tracer.instant(
+                "broker.register",
+                actor="broker",
+                job_id=job_id,
+                sessions=len(self._sessions),
+            )
         self.rebalance_cache()
 
     def unregister(self, job_id: int) -> None:
@@ -242,6 +273,13 @@ class StorageBroker:
         if job_id not in self._sessions:
             raise StorageError(f"job {job_id} is not registered")
         del self._sessions[job_id]
+        if self.tracer.enabled:
+            self.tracer.instant(
+                "broker.unregister",
+                actor="broker",
+                job_id=job_id,
+                sessions=len(self._sessions),
+            )
         self.rebalance_cache()
 
     @property
@@ -283,7 +321,9 @@ class StorageBroker:
         """
         record = self._sessions[job_id]
         if record.absorbed is not None:
+            self._cache_hits.inc()
             return record.absorbed
+        self._cache_misses.inc()
         hot = record.hot_fraction
         if hot <= 0.0:
             absorbed = 0.0
@@ -312,6 +352,16 @@ class StorageBroker:
         hdd_grants, ssd_grants, absorbed = self.apportion_shares(
             ids, [demands[i] for i in ids]
         )
+        if self.tracer.enabled:
+            self.tracer.counter(
+                "broker.demand_bytes_per_s", sum(demands.values()),
+                actor="broker",
+            )
+            self.tracer.counter(
+                "broker.granted_bytes_per_s",
+                sum(hdd_grants) + sum(ssd_grants),
+                actor="broker",
+            )
         return {
             job_id: BandwidthGrant(
                 job_id=job_id,

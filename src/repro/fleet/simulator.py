@@ -43,6 +43,7 @@ import numpy as np
 from ..common.errors import ConfigError, SchedulingError
 from ..common.simclock import SimClock
 from ..dpp.analytical import worker_throughput
+from ..telemetry.tracer import NULL_TRACER, Tracer
 from ..dpp.autoscaler import AutoscalerConfig, AutoscalingController
 from ..workloads.hardware import V100_TRAINER, TrainerNodeSpec
 from .allocator import (
@@ -202,6 +203,7 @@ class FleetSimulator:
         jobs: list[FleetJobSpec],
         clock: SimClock | None = None,
         fused: bool = True,
+        tracer: Tracer | None = None,
     ) -> None:
         if not jobs:
             raise ConfigError("fleet needs at least one job")
@@ -247,6 +249,18 @@ class FleetSimulator:
         # or finishes, not every tick.
         self._static: _StaticArrays | None = None
         self._chains_started = False
+        # Telemetry: the tracer rides the simulation clock.  Disabled
+        # (the shared NULL_TRACER) every hot-path site costs one
+        # `tracer.enabled` check; enabled, the clock hook counts every
+        # fired event and the tick emits spans plus counter samples.
+        self.tracer = tracer or NULL_TRACER
+        if self.tracer.enabled:
+            self.tracer.bind_clock(lambda: self.clock.now)
+            clock_events = self.tracer.metrics.counter("fleet.clock_events")
+            self.clock.set_trace_hook(
+                lambda time, callback: clock_events.inc()
+            )
+            self.broker.attach_tracer(self.tracer)
 
     # -- lifecycle -------------------------------------------------------------
 
@@ -261,6 +275,11 @@ class FleetSimulator:
     def _arrive(self, spec: FleetJobSpec) -> None:
         self._pending_arrivals -= 1
         self._queue.append(spec)
+        if self.tracer.enabled:
+            self.tracer.begin(
+                "job.queued", actor=f"job-{spec.job_id}", job_id=spec.job_id
+            )
+            self.tracer.log("job arrived", job_id=spec.job_id)
         self._admit_queued()
 
     def _admit_queued(self) -> None:
@@ -288,6 +307,15 @@ class FleetSimulator:
             job.requested = job.base_workers
             self._active[spec.job_id] = job
             self._static = None  # membership changed
+            if self.tracer.enabled:
+                actor = f"job-{spec.job_id}"
+                self.tracer.end(actor=actor)  # closes job.queued
+                self.tracer.begin(
+                    "job.running",
+                    actor=actor,
+                    job_id=spec.job_id,
+                    trainer_nodes=spec.trainer_nodes,
+                )
             self.broker.register(
                 spec.job_id,
                 dataset_bytes=spec.model.table_sizes.used_partitions,
@@ -301,6 +329,15 @@ class FleetSimulator:
 
     def _finish(self, job: _ActiveJob) -> None:
         job.outcome.completed_s = self.clock.now
+        if self.tracer.enabled:
+            actor = f"job-{job.spec.job_id}"
+            self.tracer.end(actor=actor)  # closes job.running
+            self.tracer.instant(
+                "job.finish",
+                actor=actor,
+                job_id=job.spec.job_id,
+                stall_s=job.outcome.stall_s,
+            )
         self._free_trainers += job.spec.trainer_nodes
         self._live_total -= job.live_workers
         self._pending_total -= job.pending_count
@@ -327,6 +364,10 @@ class FleetSimulator:
         died = min(count, job.live_workers)
         job.live_workers -= died
         self._live_total -= died
+        if self.tracer.enabled:
+            self.tracer.instant(
+                "fault.worker_crash", actor="fleet", job_id=job_id, died=died
+            )
         return died
 
     def degrade_storage(self, fraction: float) -> None:
@@ -411,10 +452,16 @@ class FleetSimulator:
         job's finish (and the admission + allocation round it triggers)
         observes a consistent post-tick fleet state in either flavor.
         """
+        tracer = self.tracer
+        traced = tracer.enabled
+        if traced:
+            tracer.begin("fleet.tick", actor="fleet")
         if self.fused:
             self._tick_fused()
         else:
             self._tick_reference()
+        if traced:
+            tracer.end(actor="fleet")
 
     def _static_arrays(self) -> _StaticArrays:
         """Resolve (or reuse) the membership-epoch constants."""
@@ -691,6 +738,16 @@ class FleetSimulator:
                 power_watts=power,
             )
         )
+        tracer = self.tracer
+        if tracer.enabled:
+            tracer.counter("fleet.live_workers", float(live), actor="fleet")
+            tracer.counter(
+                "fleet.queued_jobs", float(len(self._queue)), actor="fleet"
+            )
+            tracer.counter(
+                "fleet.granted_bytes_per_s", granted_bps, actor="fleet"
+            )
+            tracer.metrics.counter("fleet.ticks").inc()
 
     # -- driver ---------------------------------------------------------------
 

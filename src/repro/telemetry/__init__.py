@@ -1,0 +1,66 @@
+"""The telemetry plane: sim-time tracing, metrics, logs, Chrome export.
+
+Everything in this package is stamped with *virtual* time, so traces
+and snapshots are deterministic artifacts — byte-identical across
+process counts and machines for a fixed scenario and seed — and
+archive/merge/diff exactly like the repo's reports.
+
+Entry points:
+
+* :class:`Tracer` / :data:`NULL_TRACER` — the recorder and its shared
+  no-op twin (disabled overhead ≈ one attribute check per site).
+* :class:`MetricsRegistry` / :class:`MetricsSnapshot` — counters,
+  gauges, histograms under ``<kind>.<metric>`` names.
+* :class:`Trace` — the archived span stream (report kind ``"trace"``).
+* :func:`write_chrome_trace` / :func:`to_chrome` — open in Perfetto.
+* ``python -m repro.telemetry`` — summarize / diff / export CLI.
+"""
+
+from .chrome import to_chrome, validate_chrome_trace, write_chrome_trace
+from .logs import JsonLogFormatter, configure_logging, verbosity_level
+from .metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    MetricsSnapshot,
+    NULL_METRICS,
+    NullMetricsRegistry,
+)
+from .summary import SpanAggregate, diff_aggregates, span_aggregates, top_spans
+from .tracer import (
+    NULL_TRACER,
+    NullTracer,
+    Trace,
+    TraceEvent,
+    TraceProcess,
+    Tracer,
+    merge_traces,
+)
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "JsonLogFormatter",
+    "MetricsRegistry",
+    "MetricsSnapshot",
+    "NULL_METRICS",
+    "NULL_TRACER",
+    "NullMetricsRegistry",
+    "NullTracer",
+    "SpanAggregate",
+    "Trace",
+    "TraceEvent",
+    "TraceProcess",
+    "Tracer",
+    "configure_logging",
+    "diff_aggregates",
+    "merge_traces",
+    "span_aggregates",
+    "to_chrome",
+    "top_spans",
+    "validate_chrome_trace",
+    "verbosity_level",
+    "write_chrome_trace",
+]

@@ -1,0 +1,153 @@
+"""Chrome trace-event export: open traces in Perfetto or chrome://tracing.
+
+A :class:`~repro.telemetry.tracer.Trace` maps onto the Chrome JSON
+format naturally: each traced process becomes a ``pid`` (with a
+``process_name`` metadata event), each actor a ``tid`` (numbered by
+first appearance, with a ``thread_name`` metadata event), spans become
+complete ``"X"`` events, instants thread-scoped ``"i"`` events, and
+counter samples ``"C"`` events.  Sim-time seconds become microsecond
+timestamps, which Perfetto renders as wall-clock-looking tracks.
+
+The export is deterministic — event order, ids, and float formatting
+all derive from the trace — so exported files diff cleanly, and
+:func:`validate_chrome_trace` gives CI a dependency-free schema check
+(a list of problems, empty when the payload is well-formed).
+"""
+
+from __future__ import annotations
+
+import pathlib
+from typing import Any, Mapping
+
+from ..common.serialization import dump_json, null_specials
+from .tracer import PHASE_COUNTER, PHASE_INSTANT, PHASE_SPAN, Trace
+
+#: Sim-time seconds → Chrome microseconds.
+_US_PER_S = 1_000_000.0
+
+_VALID_PHASES = {"X", "i", "C", "M"}
+_METADATA_NAMES = {"process_name", "thread_name"}
+
+
+def to_chrome(trace: Trace) -> dict:
+    """Render a trace as a Chrome trace-event JSON object."""
+    events: list[dict] = []
+    for pid, process in enumerate(trace.processes, start=1):
+        events.append(
+            {
+                "ph": "M",
+                "name": "process_name",
+                "pid": pid,
+                "tid": 0,
+                "args": {"name": process.name},
+            }
+        )
+        tids: dict[str, int] = {}
+        for event in process.events:
+            tid = tids.get(event.actor)
+            if tid is None:
+                tid = tids[event.actor] = len(tids) + 1
+                events.append(
+                    {
+                        "ph": "M",
+                        "name": "thread_name",
+                        "pid": pid,
+                        "tid": tid,
+                        "args": {"name": event.actor},
+                    }
+                )
+            ts = event.time_s * _US_PER_S
+            args = {key: value for key, value in event.args}
+            if event.phase == PHASE_SPAN:
+                events.append(
+                    {
+                        "ph": "X",
+                        "name": event.name,
+                        "pid": pid,
+                        "tid": tid,
+                        "ts": ts,
+                        "dur": event.dur_s * _US_PER_S,
+                        "args": args,
+                    }
+                )
+            elif event.phase == PHASE_INSTANT:
+                events.append(
+                    {
+                        "ph": "i",
+                        "name": event.name,
+                        "pid": pid,
+                        "tid": tid,
+                        "ts": ts,
+                        "s": "t",
+                        "args": args,
+                    }
+                )
+            elif event.phase == PHASE_COUNTER:
+                events.append(
+                    {
+                        "ph": "C",
+                        "name": event.name,
+                        "pid": pid,
+                        "tid": tid,
+                        "ts": ts,
+                        "args": args,
+                    }
+                )
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def validate_chrome_trace(payload: Any) -> list[str]:
+    """Schema-check a Chrome trace payload; returns problems (empty = ok)."""
+    problems: list[str] = []
+    if not isinstance(payload, Mapping):
+        return ["payload is not a JSON object"]
+    events = payload.get("traceEvents")
+    if not isinstance(events, list):
+        return ["payload has no 'traceEvents' list"]
+    if not events:
+        problems.append("'traceEvents' is empty")
+    for index, event in enumerate(events):
+        where = f"traceEvents[{index}]"
+        if not isinstance(event, Mapping):
+            problems.append(f"{where}: not an object")
+            continue
+        phase = event.get("ph")
+        if phase not in _VALID_PHASES:
+            problems.append(f"{where}: bad phase {phase!r}")
+            continue
+        if not isinstance(event.get("name"), str) or not event["name"]:
+            problems.append(f"{where}: missing event name")
+        for id_key in ("pid", "tid"):
+            if not isinstance(event.get(id_key), int):
+                problems.append(f"{where}: missing integer {id_key!r}")
+        if phase == "M":
+            if event["name"] not in _METADATA_NAMES:
+                problems.append(
+                    f"{where}: unknown metadata event {event['name']!r}"
+                )
+            if not isinstance(event.get("args", {}).get("name"), str):
+                problems.append(f"{where}: metadata needs args.name")
+            continue
+        ts = event.get("ts")
+        if not isinstance(ts, (int, float)) or isinstance(ts, bool):
+            problems.append(f"{where}: missing numeric 'ts'")
+        if phase == "X":
+            dur = event.get("dur")
+            if (
+                not isinstance(dur, (int, float))
+                or isinstance(dur, bool)
+                or dur < 0
+            ):
+                problems.append(f"{where}: 'X' needs a non-negative 'dur'")
+        if phase == "i" and event.get("s") not in ("t", "p", "g"):
+            problems.append(f"{where}: instant scope 's' must be t/p/g")
+        if phase == "C" and not isinstance(event.get("args"), Mapping):
+            problems.append(f"{where}: counter needs an 'args' mapping")
+    return problems
+
+
+def write_chrome_trace(trace: Trace, path: str | pathlib.Path) -> pathlib.Path:
+    """Export *trace* to a Chrome trace JSON file; returns the path."""
+    target = pathlib.Path(path)
+    target.write_text(dump_json(null_specials(to_chrome(trace))))
+    return target

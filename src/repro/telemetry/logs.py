@@ -1,0 +1,77 @@
+"""Structured JSON logging stamped with sim-time, run id, and scenario.
+
+The repo's planes log through the stdlib ``repro.*`` logger hierarchy
+(primarily via :meth:`repro.telemetry.tracer.Tracer.log`).  This module
+owns the formatting contract: one JSON object per line, sorted keys,
+and — when the record came from a tracer — the three stamps that make
+a log line joinable against a trace artifact: ``sim_time_s``,
+``run_id``, and ``scenario``.
+
+Nothing here configures logging at import time.  CLIs opt in through
+:func:`configure_logging`, which maps the usual verbosity flags onto
+levels (``--quiet`` → errors only, default → warnings, ``-v`` → info,
+``-vv`` → debug) and writes to stderr so artifacts on stdout stay
+machine-parseable.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import sys
+from typing import IO
+
+#: Tracer-originated stamps copied onto the JSON record when present.
+_STAMPS = ("sim_time_s", "run_id", "scenario")
+
+
+class JsonLogFormatter(logging.Formatter):
+    """One sorted-key JSON object per record."""
+
+    def format(self, record: logging.LogRecord) -> str:
+        payload = {
+            "level": record.levelname.lower(),
+            "logger": record.name,
+            "message": record.getMessage(),
+        }
+        for stamp in _STAMPS:
+            value = getattr(record, stamp, None)
+            if value is not None:
+                payload[stamp] = value
+        fields = getattr(record, "fields", None)
+        if fields:
+            payload["fields"] = fields
+        if record.exc_info:
+            payload["exception"] = self.formatException(record.exc_info)
+        return json.dumps(payload, sort_keys=True, default=str)
+
+
+def verbosity_level(verbosity: int) -> int:
+    """Map a CLI verbosity knob onto a logging level."""
+    if verbosity < 0:
+        return logging.ERROR
+    if verbosity == 0:
+        return logging.WARNING
+    if verbosity == 1:
+        return logging.INFO
+    return logging.DEBUG
+
+
+def configure_logging(
+    verbosity: int = 0, stream: IO[str] | None = None
+) -> logging.Logger:
+    """(Re)configure the ``repro`` logger for JSON-lines output.
+
+    Idempotent: repeated calls replace the handler rather than stack
+    them, so tests and long-lived sessions can re-tune verbosity.
+    Returns the configured logger.
+    """
+    logger = logging.getLogger("repro")
+    for handler in list(logger.handlers):
+        logger.removeHandler(handler)
+    handler = logging.StreamHandler(stream or sys.stderr)
+    handler.setFormatter(JsonLogFormatter())
+    logger.addHandler(handler)
+    logger.setLevel(verbosity_level(verbosity))
+    logger.propagate = False
+    return logger

@@ -1,0 +1,108 @@
+"""Trace analysis: per-span-name aggregates and self-time attribution.
+
+Self-time is the span's duration minus the durations of its *direct*
+children on the same actor — the classic profile view.  Nesting is
+reconstructed from interval containment per ``(process, actor)``
+track, which is exact for traces produced by
+:class:`~repro.telemetry.tracer.Tracer` (spans on one actor stack are
+properly nested by construction).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from .tracer import PHASE_SPAN, Trace
+
+
+@dataclass
+class SpanAggregate:
+    """Totals for one span name across a whole trace."""
+
+    name: str
+    count: int = 0
+    total_s: float = 0.0
+    self_s: float = 0.0
+    max_s: float = 0.0
+
+    @property
+    def mean_s(self) -> float:
+        return self.total_s / self.count if self.count else math.nan
+
+
+@dataclass
+class _OpenSpan:
+    start: float
+    end: float
+    children_s: float = 0.0
+    aggregate: SpanAggregate = field(default=None)  # type: ignore[assignment]
+
+
+def span_aggregates(trace: Trace) -> dict[str, SpanAggregate]:
+    """Aggregate every span in *trace* by name, attributing self-time."""
+    aggregates: dict[str, SpanAggregate] = {}
+    for process in trace.processes:
+        tracks: dict[str, list] = {}
+        for event in process.events:
+            if event.phase == PHASE_SPAN:
+                tracks.setdefault(event.actor, []).append(event)
+        for spans in tracks.values():
+            spans.sort(key=lambda e: (e.time_s, -e.dur_s, e.name))
+            stack: list[_OpenSpan] = []
+            for event in spans:
+                aggregate = aggregates.get(event.name)
+                if aggregate is None:
+                    aggregate = aggregates[event.name] = SpanAggregate(
+                        event.name
+                    )
+                aggregate.count += 1
+                aggregate.total_s += event.dur_s
+                if event.dur_s > aggregate.max_s:
+                    aggregate.max_s = event.dur_s
+                end = event.time_s + event.dur_s
+                while stack and not (
+                    event.time_s >= stack[-1].start and end <= stack[-1].end
+                ):
+                    closed = stack.pop()
+                    closed.aggregate.self_s += (
+                        closed.end - closed.start - closed.children_s
+                    )
+                if stack:
+                    stack[-1].children_s += event.dur_s
+                stack.append(
+                    _OpenSpan(event.time_s, end, aggregate=aggregate)
+                )
+            while stack:
+                closed = stack.pop()
+                closed.aggregate.self_s += (
+                    closed.end - closed.start - closed.children_s
+                )
+    return aggregates
+
+
+def top_spans(trace: Trace, top: int = 10) -> list[SpanAggregate]:
+    """The *top* span names by self-time (ties broken by name)."""
+    ranked = sorted(
+        span_aggregates(trace).values(),
+        key=lambda a: (-a.self_s, a.name),
+    )
+    return ranked[: max(0, top)]
+
+
+def diff_aggregates(
+    base: Trace, other: Trace
+) -> dict[str, dict[str, float]]:
+    """Per-span-name ``{count, total_s, self_s}`` deltas (other − base)."""
+    mine = span_aggregates(base)
+    theirs = span_aggregates(other)
+    out: dict[str, dict[str, float]] = {}
+    for name in sorted(set(mine) | set(theirs)):
+        a = mine.get(name) or SpanAggregate(name)
+        b = theirs.get(name) or SpanAggregate(name)
+        out[name] = {
+            "count": float(b.count - a.count),
+            "total_s": b.total_s - a.total_s,
+            "self_s": b.self_s - a.self_s,
+        }
+    return out

@@ -1,0 +1,106 @@
+"""MetricsRegistry: instruments, naming, snapshots, merge."""
+
+import math
+
+import pytest
+
+from repro.common.errors import ConfigError
+from repro.common.serialization import report_from_json
+from repro.telemetry import (
+    MetricsRegistry,
+    MetricsSnapshot,
+    NULL_METRICS,
+)
+
+
+class TestInstruments:
+    def test_counter_accumulates(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("fleet.ticks")
+        counter.inc()
+        counter.inc(2.5)
+        assert registry.counter("fleet.ticks").value == 3.5
+
+    def test_counter_rejects_negative_increments(self):
+        counter = MetricsRegistry().counter("fleet.ticks")
+        with pytest.raises(ConfigError):
+            counter.inc(-1.0)
+
+    def test_gauge_holds_latest(self):
+        gauge = MetricsRegistry().gauge("broker.rate")
+        gauge.set(10.0)
+        gauge.set(3.0)
+        assert gauge.value == 3.0
+
+    def test_histogram_tracks_distribution(self):
+        histogram = MetricsRegistry().histogram("split.rows")
+        for value in (1.0, 2.0, 4.0, 1000.0):
+            histogram.observe(value)
+        assert histogram.count == 4
+        assert histogram.min == 1.0
+        assert histogram.max == 1000.0
+        assert histogram.mean == pytest.approx(1007.0 / 4)
+
+    def test_metric_names_must_be_dotted_lowercase(self):
+        registry = MetricsRegistry()
+        for bad in ("Fleet.ticks", "plainname", "fleet..x", "9.lives", ""):
+            with pytest.raises(ConfigError):
+                registry.counter(bad)
+
+    def test_kind_conflicts_are_loud(self):
+        registry = MetricsRegistry()
+        registry.counter("fleet.ticks")
+        with pytest.raises(ConfigError):
+            registry.gauge("fleet.ticks")
+
+    def test_null_registry_swallows_everything(self):
+        NULL_METRICS.counter("any.name").inc()
+        NULL_METRICS.gauge("any.name").set(1.0)
+        NULL_METRICS.histogram("any.name").observe(2.0)
+        assert NULL_METRICS.snapshot().metrics() == {}
+
+
+class TestSnapshot:
+    def build(self) -> MetricsSnapshot:
+        registry = MetricsRegistry()
+        registry.counter("fleet.ticks").inc(12.0)
+        registry.gauge("broker.rate").set(5.5)
+        histogram = registry.histogram("split.rows")
+        histogram.observe(3.0)
+        histogram.observe(9.0)
+        return registry.snapshot()
+
+    def test_round_trips_byte_identically(self):
+        snapshot = self.build()
+        text = snapshot.to_json()
+        revived = report_from_json(text)
+        assert isinstance(revived, MetricsSnapshot)
+        assert revived == snapshot
+        assert revived.to_json() == text
+
+    def test_metrics_flatten_with_report_naming(self):
+        flat = self.build().metrics()
+        assert flat["fleet.ticks"] == 12.0
+        assert flat["broker.rate"] == 5.5
+        assert flat["split.rows.count"] == 2.0
+        assert flat["split.rows.mean"] == 6.0
+        assert flat["split.rows.max"] == 9.0
+
+    def test_merge_combines_both_sides(self):
+        left = self.build()
+        registry = MetricsRegistry()
+        registry.counter("fleet.ticks").inc(3.0)
+        registry.gauge("broker.rate").set(7.0)
+        registry.histogram("split.rows").observe(100.0)
+        left.merge(registry.snapshot())
+        flat = left.metrics()
+        assert flat["fleet.ticks"] == 15.0
+        assert flat["broker.rate"] == 7.0  # latest wins
+        assert flat["split.rows.count"] == 3.0
+        assert flat["split.rows.max"] == 100.0
+
+    def test_empty_snapshot_round_trips(self):
+        snapshot = MetricsRegistry().snapshot()
+        revived = report_from_json(snapshot.to_json())
+        assert revived == snapshot
+        assert not any(map(math.isnan, revived.metrics().values()))
