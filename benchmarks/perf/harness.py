@@ -17,12 +17,14 @@ reports a throughput metric:
 * ``traced_fleet_events_per_s`` — the same region with full sim-time
   tracing enabled, measuring the telemetry tax;
 * ``sweep_scenarios_per_s`` — parallel scenario-sweep throughput
-  (``repro.sweep`` fan-out across processes).
+  (persistent fork-pool fan-out over a shared-memory arena).
 
 Results are merged into one ``BENCH_perf.json`` at the repo root, and
 :func:`compare_against_baseline` turns the committed artifact into a
 regression gate (CI fails the perf job when any metric loses more than
-30% against it).
+30% against it).  ``--profile`` runs the sweep workload under stdlib
+``cProfile`` and prints the top cumulative functions — the first stop
+when a sweep number moves.
 """
 
 from __future__ import annotations
@@ -273,12 +275,12 @@ def bench_traced_fleet(repeats: int = 3) -> list[Metric]:
     ]
 
 
-def bench_sweep(repeats: int = 1) -> list[Metric]:
-    """Scenario-sweep throughput: grid fan-out across processes."""
-    from repro.experiments import ScenarioGrid, SweepRunner
+def _sweep_grid():
+    """The shared sweep workload (also what ``--profile`` profiles)."""
+    from repro.experiments import ScenarioGrid
     from repro.fleet import FleetConfig, FleetMix, PoolConfig, StorageFabric
 
-    grid = ScenarioGrid(
+    return ScenarioGrid(
         seeds=tuple(range(SWEEP_SEEDS)),
         mixes=(
             ("default", FleetMix()),
@@ -296,6 +298,13 @@ def bench_sweep(repeats: int = 1) -> list[Metric]:
         ),
         duration_s=2.0 * 3600,
     )
+
+
+def bench_sweep(repeats: int = 1) -> list[Metric]:
+    """Scenario-sweep throughput: persistent-pool fan-out over a grid."""
+    from repro.experiments import SweepRunner
+
+    grid = _sweep_grid()
 
     def run_sweep() -> int:
         report = SweepRunner(grid, jobs=SWEEP_PROCESSES).run()
@@ -422,6 +431,7 @@ def check(
     path: pathlib.Path | None = None,
     tolerance: float = REGRESSION_TOLERANCE,
     artifact: pathlib.Path | None = None,
+    delta_out: pathlib.Path | None = None,
 ) -> int:
     """Run the harness and gate it against the committed baseline.
 
@@ -430,25 +440,76 @@ def check(
     1 otherwise.  The fresh run is *not* written to the baseline —
     refreshing it stays a deliberate ``python -m benchmarks.perf`` act
     — but *artifact* captures it elsewhere (the CI job gates and
-    uploads from one harness run instead of benchmarking twice).
+    uploads from one harness run instead of benchmarking twice), and
+    *delta_out* writes the per-metric delta table as its own text
+    artifact.
     """
     baseline_path = BENCH_PATH if path is None else path
     payload = run_all(write=artifact is not None, path=artifact)
     _print_metrics(payload, header="perf harness (check mode)")
     if not baseline_path.exists():
         print(f"no baseline at {baseline_path}; skipping regression gate")
+        if delta_out is not None:
+            delta_out.write_text("(no baseline; no deltas recorded)\n")
         return 0
     baseline = json.loads(baseline_path.read_text())
+    deltas = delta_table(payload, baseline)
     print(f"deltas versus {baseline_path}:")
-    for line in delta_table(payload, baseline):
+    for line in deltas:
         print(line)
     problems = compare_against_baseline(payload, baseline, tolerance)
+    if delta_out is not None:
+        status = (
+            f"FAIL: {len(problems)} metric(s) regressed beyond "
+            f"{tolerance:.0%}"
+            if problems
+            else f"OK: all metrics within {tolerance:.0%} of baseline"
+        )
+        delta_out.write_text(
+            f"deltas versus {baseline_path.name}:\n"
+            + "\n".join(deltas)
+            + "\n"
+            + "\n".join(f"  {line}" for line in problems)
+            + ("\n" if problems else "")
+            + status
+            + "\n"
+        )
     if problems:
         print(f"PERF REGRESSION versus {baseline_path} (>{tolerance:.0%}):")
         for line in problems:
             print(f"  {line}")
         return 1
     print(f"all metrics within {tolerance:.0%} of {baseline_path}")
+    return 0
+
+
+def profile_sweep(top: int = 25) -> int:
+    """cProfile the sweep workload and print the top-*top* functions.
+
+    Runs the grid serially (``jobs=1``) so the profile captures the
+    actual simulation stack instead of queue plumbing in the parent —
+    worker-process samples never reach a parent-side profiler.  Sorted
+    by cumulative time: the first stop when the sweep metric moves.
+    """
+    import cProfile
+    import io
+    import pstats
+
+    from repro.experiments import SweepRunner
+
+    grid = _sweep_grid()
+    profiler = cProfile.Profile()
+    profiler.enable()
+    report = SweepRunner(grid, jobs=1).run()
+    profiler.disable()
+    stream = io.StringIO()
+    stats = pstats.Stats(profiler, stream=stream)
+    stats.sort_stats("cumulative").print_stats(top)
+    print(
+        f"profiled sweep workload: {len(report.results)} scenarios, serial "
+        f"(top {top} by cumulative time)"
+    )
+    print(stream.getvalue())
     return 0
 
 
@@ -484,9 +545,30 @@ def main(argv: list[str] | None = None) -> int:
         help="in --check mode, also write the fresh metrics to this path "
         "(the committed baseline is never touched)",
     )
+    parser.add_argument(
+        "--delta-out",
+        type=pathlib.Path,
+        help="in --check mode, write the per-metric delta table to this "
+        "path (for CI build artifacts)",
+    )
+    parser.add_argument(
+        "--profile",
+        nargs="?",
+        const=25,
+        type=int,
+        metavar="TOP",
+        help="cProfile the sweep workload instead of benchmarking; print "
+        "the top TOP functions by cumulative time (default 25)",
+    )
     args = parser.parse_args(argv)
+    if args.profile is not None:
+        return profile_sweep(top=args.profile)
     if args.check:
-        return check(tolerance=args.tolerance, artifact=args.artifact)
+        return check(
+            tolerance=args.tolerance,
+            artifact=args.artifact,
+            delta_out=args.delta_out,
+        )
     payload = run_all()
     _print_metrics(payload, header=f"perf harness → {BENCH_PATH}")
     return 0

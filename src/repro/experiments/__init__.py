@@ -36,6 +36,7 @@ from .registry import (
     register_scenario,
     unregister_scenario,
 )
+from .pool import SweepArena, auto_chunk_size, fork_available, run_chunked
 from .report import CELL_METRICS, ScenarioResult, SweepReport
 from .runner import (
     ExperimentEntry,
@@ -69,11 +70,15 @@ __all__ = [
     "ScenarioGrid",
     "ScenarioResult",
     "ScenarioSpec",
+    "SweepArena",
     "SweepReport",
     "SweepRunner",
+    "auto_chunk_size",
     "build_scenario",
     "fan_out",
+    "fork_available",
     "get_scenario",
+    "run_chunked",
     "grid_from_json",
     "list_scenarios",
     "quick_grid",

@@ -110,7 +110,9 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         if seeds:
             grid = dataclasses.replace(grid, seeds=seeds)
 
-    runner = SweepRunner(grid, jobs=args.jobs or None)
+    runner = SweepRunner(
+        grid, jobs=args.jobs or None, chunk_cells=args.chunk
+    )
     progress = None if args.quiet else _progress_printer(args.name)
     if args.trace:
         report, trace = runner.run_traced(
@@ -197,6 +199,14 @@ def build_parser(prog: str = "python -m repro.experiments") -> argparse.Argument
         type=int,
         default=1,
         help="worker processes (0 = one per CPU core; default 1, inline)",
+    )
+    sweep_parser.add_argument(
+        "--chunk",
+        type=int,
+        default=None,
+        metavar="CELLS",
+        help="cells shipped per pool task (default: auto-tuned from grid "
+        "size and --jobs; results are identical either way)",
     )
     sweep_parser.add_argument(
         "--name", default="sweep", help="grid name recorded in the artifact"

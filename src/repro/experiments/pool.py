@@ -1,0 +1,339 @@
+"""Persistent fork-pool engine and shared-memory sweep arenas.
+
+The old fan-out engine paid per-cell costs that dwarfed the simulation
+itself on large grids: every :class:`~repro.experiments.scenarios`
+scenario was pickled into a pool worker, every flat result pickled
+back, and the ``ProcessPoolExecutor`` respawned its interpreter state
+per sweep.  This module replaces that with the persistent-pool shape:
+
+* :func:`run_chunked` — long-lived ``fork``\\ ed workers drain an index
+  queue of *chunks* (contiguous ``[start, stop)`` ranges).  Work
+  definitions are inherited by the fork, never pickled; only small
+  ``(chunk_id, start, stop)`` tuples and one result envelope per chunk
+  cross a queue.  Worker death is detected via process sentinels and
+  surfaces as a loud ``RuntimeError`` — a lost chunk never hangs the
+  parent.
+* :class:`SweepArena` — the expanded scenario grid as shared-memory
+  numpy arrays: a parameter table written once by the parent
+  (axis indices + seed per scenario; workers rebuild scenarios
+  zero-copy from the fork-inherited axis tuples) and a columnar result
+  table workers fold flat metrics into in place.  The parent
+  materializes every :class:`~repro.experiments.report.ScenarioResult`
+  in one pass after the pool drains — a single merge, independent of
+  chunk scheduling.
+
+Both arrays live in anonymous ``mmap`` shared maps (``MAP_SHARED``),
+so worker writes are visible to the parent without any serialization.
+The engine requires the ``fork`` start method (Linux/macOS CPython);
+callers fall back to the futures-based path where ``fork`` is
+unavailable.
+
+Determinism: chunking only partitions the index space.  Every scenario
+seeds itself, results land at their grid index, and traces merge
+canonically — so serial, any ``jobs``, and any chunk size produce
+byte-identical artifacts.
+"""
+
+from __future__ import annotations
+
+import math
+import mmap
+import multiprocessing
+import pickle
+from multiprocessing.connection import wait as _sentinel_wait
+from typing import Any, Callable
+
+import numpy as np
+
+from ..common.errors import ConfigError
+from .grid import ScenarioGrid
+from .report import ScenarioResult
+from .scenarios import FleetRegionScenario
+
+#: ``work(start, stop, cell_done)`` over one chunk of the index space;
+#: ``cell_done`` (when not None) must be called once per finished cell.
+#: The return value is the chunk's result envelope.
+ChunkWork = Callable[[int, int, Callable[[], None] | None], Any]
+
+#: Queue token a worker emits per finished cell (progress accounting).
+_CELL_TOKEN = "cell"
+
+#: Upper bound on auto-tuned chunk sizes: beyond this, bigger batches
+#: stop amortizing anything and only worsen tail imbalance.
+_MAX_AUTO_CHUNK = 32
+
+
+def fork_available() -> bool:
+    """Whether the persistent zero-copy engine can run here."""
+    return "fork" in multiprocessing.get_all_start_methods()
+
+
+def auto_chunk_size(n_items: int, jobs: int) -> int:
+    """Cells per chunk, tuned from grid size and fan-out width.
+
+    Four chunks per worker balances queue amortization against tail
+    latency on uneven scenario durations; the cap keeps progress
+    reporting and rebalancing responsive on huge grids.
+    """
+    if n_items < 1 or jobs < 1:
+        raise ConfigError("chunk tuning needs positive items and jobs")
+    return max(1, min(_MAX_AUTO_CHUNK, math.ceil(n_items / (jobs * 4))))
+
+
+def _worker_main(work: ChunkWork, tasks, results, report_cells: bool) -> None:
+    """Worker loop: drain chunks until the ``None`` shutdown sentinel.
+
+    Everything this needs — *work* and whatever it closes over — arrived
+    via fork, not pickle.  Exceptions are shipped back per chunk (the
+    original exception when picklable, a description otherwise) so the
+    parent re-raises instead of timing out.
+    """
+    cell_done = (lambda: results.put(_CELL_TOKEN)) if report_cells else None
+    while True:
+        task = tasks.get()
+        if task is None:
+            return
+        chunk_id, start, stop = task
+        try:
+            payload = work(start, stop, cell_done)
+        except BaseException as exc:  # ship it back; the parent re-raises
+            try:
+                body = pickle.dumps(exc)
+            except Exception:
+                body = None
+            results.put(("err", chunk_id, body, f"{type(exc).__name__}: {exc}"))
+        else:
+            results.put(("ok", chunk_id, payload, None))
+
+
+def _revive_exception(body: bytes | None, detail: str) -> BaseException:
+    """The worker's exception, or a RuntimeError carrying its repr."""
+    if body is not None:
+        try:
+            return pickle.loads(body)
+        except Exception:
+            pass
+    return RuntimeError(f"sweep worker failed: {detail}")
+
+
+def run_chunked(
+    work: ChunkWork,
+    n_items: int,
+    *,
+    jobs: int,
+    chunk_size: int | None = None,
+    progress: Callable[[int, int], None] | None = None,
+) -> list[tuple[int, int, Any]]:
+    """Run *work* over ``[0, n_items)`` across persistent forked workers.
+
+    Returns ``(start, stop, payload)`` per chunk in index order.  The
+    parent multiplexes the result queue against worker sentinels: a
+    worker that dies mid-chunk (segfault, ``os._exit``) raises a
+    ``RuntimeError`` immediately instead of hanging the drain loop, and
+    an exception raised *inside* a chunk re-raises in the parent with
+    its original type.  *progress* is called per completed cell, in
+    completion order — batching never coarsens the progress signal.
+    """
+    if not fork_available():  # pragma: no cover - platform-dependent
+        raise ConfigError("persistent pool requires the fork start method")
+    if n_items <= 0:
+        return []
+    size = chunk_size if chunk_size is not None else auto_chunk_size(n_items, jobs)
+    if size < 1:
+        raise ConfigError("chunk size must be at least one cell")
+    chunks = [
+        (chunk_id, start, min(start + size, n_items))
+        for chunk_id, start in enumerate(range(0, n_items, size))
+    ]
+    context = multiprocessing.get_context("fork")
+    tasks = context.SimpleQueue()
+    results = context.SimpleQueue()
+    workers = [
+        context.Process(
+            target=_worker_main,
+            args=(work, tasks, results, progress is not None),
+            daemon=True,
+        )
+        for _ in range(min(jobs, len(chunks)))
+    ]
+    payloads: dict[int, Any] = {}
+    cells_done = 0
+    try:
+        for worker in workers:
+            worker.start()
+        for chunk in chunks:
+            tasks.put(chunk)
+        for _ in workers:
+            tasks.put(None)
+        alive = list(workers)
+        while len(payloads) < len(chunks):
+            if alive:
+                # Block on "a result arrived OR a worker exited" — the
+                # sentinel half is what turns a crashed worker into an
+                # exception instead of a deadlock.
+                _sentinel_wait(
+                    [results._reader] + [worker.sentinel for worker in alive]
+                )
+            elif results.empty():
+                lost = len(chunks) - len(payloads)
+                raise RuntimeError(
+                    f"worker pool lost {lost} chunk(s): all workers exited "
+                    "without returning them"
+                )
+            while not results.empty():
+                message = results.get()
+                if message == _CELL_TOKEN:
+                    cells_done += 1
+                    if progress is not None:
+                        progress(cells_done, n_items)
+                    continue
+                kind, chunk_id, body, detail = message
+                if kind == "err":
+                    raise _revive_exception(body, detail)
+                payloads[chunk_id] = body
+            for worker in list(alive):
+                if worker.is_alive():
+                    continue
+                alive.remove(worker)
+                if worker.exitcode != 0 and len(payloads) < len(chunks):
+                    raise RuntimeError(
+                        f"sweep worker pid {worker.pid} died with exit code "
+                        f"{worker.exitcode} mid-chunk"
+                    )
+    finally:
+        for worker in workers:
+            if worker.is_alive():
+                worker.terminate()
+        for worker in workers:
+            worker.join(timeout=5)
+        tasks.close()
+        results.close()
+    return [
+        (start, stop, payloads[chunk_id]) for chunk_id, start, stop in chunks
+    ]
+
+
+# -- the sweep arena -----------------------------------------------------------
+
+#: Numeric tail of :class:`ScenarioResult` (everything after
+#: ``trace_seed``), in field order.  Integer columns round-trip exactly
+#: through float64 (all counts sit far below 2**53).
+RESULT_COLUMNS = (
+    "jobs_submitted",
+    "jobs_completed",
+    "peak_concurrency",
+    "makespan_s",
+    "aggregate_samples_per_s",
+    "mean_slowdown",
+    "mean_stall_fraction",
+    "p95_queue_delay_s",
+    "mean_storage_utilization",
+    "peak_storage_utilization",
+    "peak_power_watts",
+    "events_fired",
+    "wall_s",
+)
+
+_INT_COLUMNS = frozenset(
+    ("jobs_submitted", "jobs_completed", "peak_concurrency", "events_fired")
+)
+
+
+class SweepArena:
+    """A :class:`ScenarioGrid`, expanded into shared-memory arrays.
+
+    ``params`` is an ``(n, 4)`` int64 table — mix / config / fault axis
+    indices plus the trace seed, one row per scenario in the grid's
+    axis-major expansion order, written once by the parent.  Workers
+    never unpickle a scenario: :meth:`scenario_for` rebuilds it from
+    the fork-inherited axis tuples and the shared row.  ``results`` is
+    the ``(n, len(RESULT_COLUMNS))`` float64 columnar accumulator
+    workers :meth:`store` flat metrics into; both live in anonymous
+    shared ``mmap`` regions, so cross-process writes need no
+    serialization at all.
+    """
+
+    def __init__(self, grid: ScenarioGrid) -> None:
+        self.grid = grid
+        n = len(grid)
+        self._params_map = mmap.mmap(-1, n * 4 * 8)
+        self.params = np.frombuffer(
+            self._params_map, dtype=np.int64, count=n * 4
+        ).reshape(n, 4)
+        self._results_map = mmap.mmap(-1, n * len(RESULT_COLUMNS) * 8)
+        self.results = np.frombuffer(
+            self._results_map, dtype=np.float64, count=n * len(RESULT_COLUMNS)
+        ).reshape(n, len(RESULT_COLUMNS))
+        self.results.fill(np.nan)  # unwritten rows are visibly poisoned
+        index = 0
+        params = self.params
+        for mix_index in range(len(grid.mixes)):
+            for config_index in range(len(grid.configs)):
+                for fault_index in range(len(grid.faults)):
+                    for seed in grid.seeds:
+                        params[index, 0] = mix_index
+                        params[index, 1] = config_index
+                        params[index, 2] = fault_index
+                        params[index, 3] = seed
+                        index += 1
+
+    def __len__(self) -> int:
+        return len(self.params)
+
+    def scenario_for(self, index: int) -> FleetRegionScenario:
+        """Rebuild scenario *index* — same name, seed, and axis values
+        as ``grid.expand()[index]``, with zero pickling."""
+        grid = self.grid
+        mix_index, config_index, fault_index, seed = (
+            int(value) for value in self.params[index]
+        )
+        mix_name, mix = grid.mixes[mix_index]
+        config_name, config = grid.configs[config_index]
+        fault_name, faults = grid.faults[fault_index]
+        return FleetRegionScenario(
+            name=f"{mix_name}/{config_name}/{fault_name}/seed{seed}",
+            trace_seed=seed,
+            mix=mix,
+            config=config,
+            duration_s=grid.duration_s,
+            horizon_s=grid.horizon_s,
+            faults=faults,
+        )
+
+    def store(self, index: int, result: ScenarioResult) -> None:
+        """Fold one scenario's numeric tail into the results table."""
+        self.results[index] = tuple(
+            getattr(result, column) for column in RESULT_COLUMNS
+        )
+
+    def materialize(self) -> list[ScenarioResult]:
+        """All results, revived in grid order — the single parent-side
+        merge, independent of which worker ran which chunk."""
+        grid = self.grid
+        out: list[ScenarioResult] = []
+        for index in range(len(self.params)):
+            mix_index, config_index, fault_index, seed = (
+                int(value) for value in self.params[index]
+            )
+            cell = (
+                f"{grid.mixes[mix_index][0]}/{grid.configs[config_index][0]}/"
+                f"{grid.faults[fault_index][0]}"
+            )
+            row = self.results[index]
+            values = {
+                column: (
+                    int(row[position])
+                    if column in _INT_COLUMNS
+                    else float(row[position])
+                )
+                for position, column in enumerate(RESULT_COLUMNS)
+            }
+            out.append(
+                ScenarioResult(
+                    name=f"{cell}/seed{seed}",
+                    cell=cell,
+                    trace_seed=seed,
+                    **values,
+                )
+            )
+        return out

@@ -1,25 +1,30 @@
 """The experiment executors: scenarios across cores, results reduced.
 
-Two runners share one fan-out engine (:func:`fan_out`):
+Two runners share one persistent-pool fan-out engine
+(:mod:`repro.experiments.pool`):
 
-* :class:`SweepRunner` — the fleet-grid specialization: every cell
-  reduces to a flat :class:`~repro.experiments.report.ScenarioResult`
-  in its worker process and aggregates into a
-  :class:`~repro.experiments.report.SweepReport` of percentile
-  surfaces.  (This is the old ``repro.sweep.SweepRunner``, unchanged
-  in behavior: deterministic per-scenario seeding, results independent
-  of process count and scheduling.)
+* :class:`SweepRunner` — the fleet-grid specialization: the grid
+  expands into a shared-memory :class:`~repro.experiments.pool.SweepArena`
+  (parameter rows written once, workers rebuild scenarios zero-copy
+  and fold flat metrics into the columnar results table in place), and
+  the parent materializes the
+  :class:`~repro.experiments.report.SweepReport` in a single merge.
+  (This is the old ``repro.sweep.SweepRunner``, unchanged in observable
+  behavior: deterministic per-scenario seeding, results independent of
+  process count, chunk size, and scheduling.)
 * :class:`ExperimentRunner` — the general plane: fans *any* mix of
   registered scenario kinds (fleet regions, chaos sessions, timed DPP
-  simulations) across processes and collects each scenario's full
-  report into an :class:`ExperimentReport`, itself a
+  simulations) across the same persistent pool via :func:`fan_out` and
+  collects each scenario's full report into an
+  :class:`ExperimentReport`, itself a
   :class:`~repro.common.serialization.ReportBase` whose JSON embeds
   every child report envelope.
 
-Both rely on the scenario contract: units of work are module top-level
-functions over picklable scenarios, every scenario seeds itself, and
+Both rely on the scenario contract: every scenario seeds itself and
 reports sort canonically before aggregation — process scheduling can
-never leak into the artifact.
+never leak into the artifact.  Where the ``fork`` start method is
+unavailable, :func:`fan_out` falls back to a futures pool with
+per-item pickling (same results, lower throughput).
 """
 
 from __future__ import annotations
@@ -35,6 +40,7 @@ from ..common.serialization import ReportBase, require_keys, revive_float
 from ..telemetry.tracer import Trace, Tracer, merge_traces
 from .base import Scenario
 from .grid import ScenarioGrid
+from .pool import SweepArena, fork_available, run_chunked
 from .report import ScenarioResult, SweepReport
 from .scenarios import FleetRegionScenario, MAX_EVENTS_PER_SCENARIO
 
@@ -42,43 +48,75 @@ from .scenarios import FleetRegionScenario, MAX_EVENTS_PER_SCENARIO
 ProgressFn = Callable[[int, int], None]
 
 
-def fan_out(
+def _fan_out_futures(
     items: Sequence,
     fn: Callable,
     jobs: int,
     progress: ProgressFn | None = None,
 ) -> list:
-    """Apply *fn* over *items*, inline or across worker processes.
+    """Futures-pool fallback for platforms without ``fork``.
 
-    ``jobs=1`` (or a single item) runs inline — no pool overhead,
-    easiest to debug, what CI determinism tests use.  Results come back
-    in input order either way, so fan-out width cannot reorder them.
-
-    *progress* is called after each item finishes — in completion
-    order, which process scheduling may permute; only the counts are
-    meaningful, never an item identity.
+    Per-item pickling both ways — the pre-persistent-pool engine, kept
+    only as the portability path.
     """
-    if jobs == 1 or len(items) <= 1:
-        results = []
-        for item in items:
-            results.append(fn(item))
-            if progress is not None:
-                progress(len(results), len(items))
-        return results
     with ProcessPoolExecutor(max_workers=jobs) as pool:
         if progress is None:
-            # chunksize amortizes IPC for big batches without starving
-            # the pool's tail on uneven scenario durations.
             chunksize = max(1, len(items) // (jobs * 4))
             return list(pool.map(fn, items, chunksize=chunksize))
-        # Per-item futures so completions surface as they happen; the
-        # result list still assembles in input order.
         futures = [pool.submit(fn, item) for item in items]
         done = 0
         for _ in as_completed(futures):
             done += 1
             progress(done, len(futures))
         return [future.result() for future in futures]
+
+
+def fan_out(
+    items: Sequence,
+    fn: Callable,
+    jobs: int,
+    progress: ProgressFn | None = None,
+    chunk_size: int | None = None,
+) -> list:
+    """Apply *fn* over *items*, inline or across persistent workers.
+
+    ``jobs=1`` (or a single item) runs inline — no pool overhead,
+    easiest to debug, what CI determinism tests use.  Otherwise items
+    ship to long-lived forked workers in index chunks (*chunk_size*
+    cells per task, auto-tuned from the batch size and *jobs* when
+    None); *items* and *fn* are inherited by the fork, never pickled.
+    Results come back in input order regardless of engine, jobs, or
+    chunk size, so fan-out width cannot reorder them.
+
+    *progress* is called after each item finishes — in completion
+    order, which process scheduling may permute; only the counts are
+    meaningful, never an item identity.
+    """
+    n_items = len(items)
+    if jobs == 1 or n_items <= 1:
+        results = []
+        for item in items:
+            results.append(fn(item))
+            if progress is not None:
+                progress(len(results), n_items)
+        return results
+    if not fork_available():  # pragma: no cover - platform-dependent
+        return _fan_out_futures(items, fn, jobs, progress)
+    results = [None] * n_items
+
+    def work(start: int, stop: int, cell_done) -> list:
+        chunk = []
+        for index in range(start, stop):
+            chunk.append(fn(items[index]))
+            if cell_done is not None:
+                cell_done()
+        return chunk
+
+    for start, stop, payload in run_chunked(
+        work, n_items, jobs=jobs, chunk_size=chunk_size, progress=progress
+    ):
+        results[start:stop] = payload
+    return results
 
 
 def _resolve_jobs(jobs: int | None) -> int:
@@ -139,24 +177,107 @@ def run_scenario_spec_traced(
     return result, tracer.freeze()
 
 
-class SweepRunner:
-    """Fans a :class:`ScenarioGrid` across processes and aggregates."""
+def _sweep_chunk_work(arena: SweepArena, traced: bool):
+    """The in-worker chunk body: run cells, fold metrics into the arena.
 
-    def __init__(self, grid: ScenarioGrid, jobs: int | None = 1) -> None:
+    Numeric results land directly in the shared columnar table — the
+    chunk's queue envelope is empty (untraced) or just the frozen
+    per-cell traces (traced).  The closure and the arena it captures
+    cross into workers via fork, never pickle.
+    """
+
+    def work(start: int, stop: int, cell_done) -> list[Trace] | None:
+        traces: list[Trace] | None = [] if traced else None
+        for index in range(start, stop):
+            spec = arena.scenario_for(index)
+            if traced:
+                result, trace = run_scenario_spec_traced(spec)
+                traces.append(trace)
+            else:
+                result = run_scenario_spec(spec)
+            arena.store(index, result)
+            if cell_done is not None:
+                cell_done()
+        return traces
+
+    return work
+
+
+class SweepRunner:
+    """Fans a :class:`ScenarioGrid` across a persistent worker pool.
+
+    The grid expands into a shared-memory :class:`SweepArena`; both the
+    serial and pooled paths run every scenario through the same arena
+    store/materialize cycle, so process count and chunk size are
+    provably invisible in the artifact.
+    """
+
+    def __init__(
+        self,
+        grid: ScenarioGrid,
+        jobs: int | None = 1,
+        chunk_cells: int | None = None,
+    ) -> None:
         """*jobs*: worker processes; 1 runs inline, ``None`` uses the
-        machine's CPU count."""
+        machine's CPU count.  *chunk_cells*: cells shipped per pool
+        task; ``None`` auto-tunes from grid size and *jobs*."""
         self.grid = grid
         self.jobs = _resolve_jobs(jobs)
+        if chunk_cells is not None and chunk_cells < 1:
+            raise ConfigError("chunk_cells must be at least one cell")
+        self.chunk_cells = chunk_cells
+
+    def _execute(
+        self, traced: bool, progress: ProgressFn | None
+    ) -> tuple[SweepArena, list[Trace]]:
+        """Run the grid through the arena; returns it plus any traces
+        in grid-index order."""
+        arena = SweepArena(self.grid)
+        n_cells = len(arena)
+        traces: list[Trace] = []
+        if self.jobs == 1 or n_cells <= 1:
+            for index in range(n_cells):
+                spec = arena.scenario_for(index)
+                if traced:
+                    result, trace = run_scenario_spec_traced(spec)
+                    traces.append(trace)
+                else:
+                    result = run_scenario_spec(spec)
+                arena.store(index, result)
+                if progress is not None:
+                    progress(index + 1, n_cells)
+        elif not fork_available():  # pragma: no cover - platform-dependent
+            fn = run_scenario_spec_traced if traced else run_scenario_spec
+            specs = [arena.scenario_for(index) for index in range(n_cells)]
+            for index, out in enumerate(
+                _fan_out_futures(specs, fn, self.jobs, progress)
+            ):
+                if traced:
+                    result, trace = out
+                    traces.append(trace)
+                else:
+                    result = out
+                arena.store(index, result)
+        else:
+            for _start, _stop, payload in run_chunked(
+                _sweep_chunk_work(arena, traced),
+                n_cells,
+                jobs=self.jobs,
+                chunk_size=self.chunk_cells,
+                progress=progress,
+            ):
+                if traced:
+                    traces.extend(payload)
+        return arena, traces
 
     def run(
         self, grid_name: str = "sweep", progress: ProgressFn | None = None
     ) -> SweepReport:
         """Execute every scenario; returns the aggregated report."""
-        specs = self.grid.expand()
         start = time.perf_counter()
-        results = fan_out(specs, run_scenario_spec, self.jobs, progress)
+        arena, _ = self._execute(traced=False, progress=progress)
         return SweepReport(
-            results=results,
+            results=arena.materialize(),
             grid_name=grid_name,
             total_wall_s=time.perf_counter() - start,
             jobs=self.jobs,
@@ -167,17 +288,16 @@ class SweepRunner:
     ) -> tuple[SweepReport, Trace]:
         """Execute with per-cell tracing; the merged trace holds one
         process per cell, in canonical (name-sorted) order regardless
-        of fan-out width."""
-        specs = self.grid.expand()
+        of fan-out width or chunking."""
         start = time.perf_counter()
-        pairs = fan_out(specs, run_scenario_spec_traced, self.jobs, progress)
+        arena, traces = self._execute(traced=True, progress=progress)
         report = SweepReport(
-            results=[result for result, _ in pairs],
+            results=arena.materialize(),
             grid_name=grid_name,
             total_wall_s=time.perf_counter() - start,
             jobs=self.jobs,
         )
-        return report, merge_traces([trace for _, trace in pairs])
+        return report, merge_traces(traces)
 
 
 # -- the general plane ---------------------------------------------------------

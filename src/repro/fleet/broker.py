@@ -51,13 +51,24 @@ def max_min_share(demands: Sequence[float], capacity: float) -> list[float]:
     if n == 0:
         return []
     if n < 128:
+        # Uncontended fast path: when capacity covers the total ask,
+        # the water level sits above every demand and each job is
+        # granted exactly what it asked — no sort needed.  (At any
+        # position the remaining capacity covers the remaining demands,
+        # all at least the current one, so ``asked <= fair`` always
+        # holds and the full loop would copy demands through verbatim.)
+        total = 0.0
+        for asked in demands:
+            total += asked
+            if asked < 0.0:
+                raise ConfigError("demands cannot be negative")
+        if total <= capacity:
+            return list(demands)
         # Small-n path: numpy's per-call dispatch dwarfs the actual
         # arithmetic at fleet-tick sizes (tens of jobs).  Identical
         # float sequence to the array path below: the prefix sum is
         # accumulated in the same ascending order.
         order = sorted(range(n), key=demands.__getitem__)
-        if demands[order[0]] < 0:  # ascending: the minimum is first
-            raise ConfigError("demands cannot be negative")
         grants = [0.0] * n
         filled_below = 0.0
         level = None
@@ -78,6 +89,8 @@ def max_min_share(demands: Sequence[float], capacity: float) -> list[float]:
     asked = np.asarray(demands, dtype=float)
     if asked.min() < 0:
         raise ConfigError("demands cannot be negative")
+    if float(asked.sum()) <= capacity:  # uncontended: grants == demands
+        return asked.tolist()
     order = np.argsort(asked, kind="stable")
     ranked = asked[order]
     filled_below = np.concatenate(([0.0], np.cumsum(ranked)[:-1]))

@@ -388,3 +388,63 @@ class TestFiredCounter:
         clock.schedule(10.0, lambda: None).cancel()
         assert clock.run(max_events=5) == 5
         assert clock.pending == 0
+
+
+class TestRunWhile:
+    def test_matches_step_driven_loop_exactly(self):
+        def build():
+            clock = SimClock()
+            fired = []
+
+            def chain(label, hops):
+                def hop():
+                    fired.append((clock.now, label))
+                    if len([f for f in fired if f[1] == label]) < hops:
+                        clock.schedule(1.0, hop)
+
+                clock.schedule(1.0, hop)
+
+            chain("a", 5)
+            chain("b", 3)
+            clock.schedule(2.5, lambda: fired.append((clock.now, "mid")))
+            return clock, fired
+
+        reference, ref_fired = build()
+        steps = 0
+        while len(ref_fired) < 7 and reference.step():
+            steps += 1
+
+        batched, batch_fired = build()
+        count = batched.run_while(lambda: len(batch_fired) < 7)
+        assert count == steps
+        assert batch_fired == ref_fired
+        assert batched.now == reference.now
+        assert batched.fired == reference.fired
+
+    def test_condition_checked_before_each_event(self):
+        clock = SimClock()
+        fired = []
+        for i in range(4):
+            clock.schedule(float(i + 1), lambda i=i: fired.append(i))
+        assert clock.run_while(lambda: len(fired) < 2) == 2
+        assert fired == [0, 1]
+        assert clock.pending == 2  # untouched tail stays on the heap
+
+    def test_max_events_bounds_the_drain(self):
+        clock = SimClock()
+
+        def reschedule():
+            clock.schedule(1.0, reschedule)
+
+        clock.schedule(1.0, reschedule)
+        assert clock.run_while(lambda: True, max_events=10) == 10
+        assert clock.pending == 1
+
+    def test_skips_cancelled_corpses(self):
+        clock = SimClock()
+        fired = []
+        clock.schedule(1.0, lambda: None).cancel()
+        clock.schedule(2.0, lambda: fired.append("live"))
+        assert clock.run_while(lambda: True) == 1
+        assert fired == ["live"]
+        assert clock.fired == 1

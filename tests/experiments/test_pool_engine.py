@@ -1,0 +1,237 @@
+"""The persistent pool engine: arenas, chunking, determinism, crashes.
+
+The contract under test: the shared-memory arena plus chunked
+persistent pool is *invisible* in every artifact — serial, any
+``jobs``, and any chunk size produce byte-identical sweep reports,
+experiment reports, and merged traces — while failure modes (a worker
+dying mid-chunk, an exception inside a cell) surface loudly instead of
+hanging the drain loop.
+"""
+
+import json
+import math
+import os
+
+import pytest
+
+from repro.chaos.faults import FaultEvent, FaultKind
+from repro.common.errors import ConfigError
+from repro.experiments import (
+    ExperimentRunner,
+    ScenarioGrid,
+    SweepArena,
+    SweepRunner,
+    auto_chunk_size,
+    build_scenario,
+    fan_out,
+    fork_available,
+    run_chunked,
+)
+from repro.fleet import FleetConfig, FleetMix, PoolConfig, StorageFabric
+
+pytestmark = pytest.mark.skipif(
+    not fork_available(), reason="persistent pool requires fork"
+)
+
+
+def pool_grid(seeds=(0, 1, 2)):
+    """Two mixes x two fault schedules x >=3 seeds: mixed cells."""
+    return ScenarioGrid(
+        seeds=tuple(seeds),
+        mixes=(
+            ("default", FleetMix()),
+            ("busy", FleetMix(exploratory_per_day=96.0)),
+        ),
+        configs=(
+            (
+                "base",
+                FleetConfig(
+                    fabric=StorageFabric(n_hdd_nodes=20, n_ssd_cache_nodes=2),
+                    n_trainer_nodes=16,
+                    pool=PoolConfig(max_workers=500),
+                ),
+            ),
+        ),
+        faults=(
+            ("none", ()),
+            (
+                "storm",
+                (
+                    FaultEvent(600, FaultKind.WORKER_CRASH, 4.0),
+                    FaultEvent(1_200, FaultKind.DEGRADE_STORAGE, 0.5),
+                    FaultEvent(2_400, FaultKind.RESTORE_STORAGE),
+                ),
+            ),
+        ),
+        duration_s=3_600.0,
+    )
+
+
+def sweep_bytes(report) -> str:
+    """The report's canonical JSON with the legitimately run-dependent
+    fields neutralized: wall clock and the recorded fan-out width."""
+    payload = report.payload()
+    payload["total_wall_s"] = 0.0
+    payload["jobs"] = 0
+    for row in payload["scenarios"]:
+        row["wall_s"] = 0.0
+    return json.dumps(payload, sort_keys=True, allow_nan=True)
+
+
+def experiment_bytes(report) -> str:
+    payload = report.payload()
+    payload["total_wall_s"] = 0.0
+    payload["jobs"] = 0
+    for entry in payload["entries"]:
+        entry["wall_s"] = 0.0
+    return json.dumps(payload, sort_keys=True, allow_nan=True)
+
+
+class TestAutoChunkSize:
+    def test_small_grids_get_single_cell_chunks(self):
+        assert auto_chunk_size(1, 4) == 1
+        assert auto_chunk_size(8, 4) == 1
+
+    def test_scales_with_grid_over_jobs(self):
+        assert auto_chunk_size(100, 4) == math.ceil(100 / 16)
+        assert auto_chunk_size(100, 2) == math.ceil(100 / 8)
+
+    def test_capped_for_huge_grids(self):
+        assert auto_chunk_size(100_000, 4) == 32
+
+    def test_rejects_degenerate_inputs(self):
+        with pytest.raises(ConfigError):
+            auto_chunk_size(0, 4)
+        with pytest.raises(ConfigError):
+            auto_chunk_size(10, 0)
+
+
+class TestSweepArena:
+    def test_scenarios_match_grid_expansion(self):
+        grid = pool_grid()
+        arena = SweepArena(grid)
+        expanded = grid.expand()
+        assert len(arena) == len(expanded)
+        for index, spec in enumerate(expanded):
+            assert arena.scenario_for(index) == spec
+
+    def test_store_materialize_round_trips_exactly(self):
+        from repro.experiments import run_scenario_spec
+        from repro.experiments.report import ScenarioResult
+
+        grid = pool_grid(seeds=(0,))
+        arena = SweepArena(grid)
+        direct = []
+        for index in range(len(arena)):
+            result = run_scenario_spec(arena.scenario_for(index))
+            direct.append(result)
+            arena.store(index, result)
+        revived = arena.materialize()
+        for expected, actual in zip(direct, revived):
+            for field_name, value in expected.__dict__.items():
+                revived_value = getattr(actual, field_name)
+                if isinstance(value, float) and math.isnan(value):
+                    assert math.isnan(revived_value), field_name
+                else:
+                    assert revived_value == value, field_name
+                assert type(revived_value) is type(value) or isinstance(
+                    revived_value, type(value)
+                ), field_name
+
+
+class TestSweepDeterminism:
+    def test_byte_identity_across_jobs_and_chunk_sizes(self):
+        grid = pool_grid()
+        baseline = sweep_bytes(SweepRunner(grid, jobs=1).run())
+        for jobs, chunk in ((2, None), (4, 1), (3, 5), (2, 100)):
+            report = SweepRunner(grid, jobs=jobs, chunk_cells=chunk).run()
+            assert sweep_bytes(report) == baseline, (jobs, chunk)
+
+    def test_traced_reports_and_merged_traces_are_byte_identical(self):
+        grid = pool_grid()
+        base_report, base_trace = SweepRunner(grid, jobs=1).run_traced()
+        base_trace_json = base_trace.to_json()
+        for jobs, chunk in ((3, None), (2, 2)):
+            report, trace = SweepRunner(
+                grid, jobs=jobs, chunk_cells=chunk
+            ).run_traced()
+            assert sweep_bytes(report) == sweep_bytes(base_report), (jobs, chunk)
+            assert trace.to_json() == base_trace_json, (jobs, chunk)
+
+    def test_chunk_cells_validated(self):
+        with pytest.raises(ConfigError):
+            SweepRunner(pool_grid(), jobs=2, chunk_cells=0)
+
+
+class TestExperimentDeterminism:
+    def batch(self):
+        return [
+            build_scenario(name, seed=seed)
+            for name in ("fleet/busy", "chaos/seeded", "dpp/worker-churn")
+            for seed in (0, 1, 2)
+        ]
+
+    def test_mixed_kinds_byte_identical_across_jobs(self):
+        baseline = experiment_bytes(
+            ExperimentRunner(self.batch(), jobs=1).run("mixed")
+        )
+        for jobs in (2, 4):
+            report = ExperimentRunner(self.batch(), jobs=jobs).run("mixed")
+            assert experiment_bytes(report) == baseline, jobs
+
+    def test_mixed_kinds_traced_merge_identical(self):
+        base_report, base_trace = ExperimentRunner(
+            self.batch(), jobs=1
+        ).run_traced("mixed")
+        report, trace = ExperimentRunner(self.batch(), jobs=3).run_traced(
+            "mixed"
+        )
+        assert experiment_bytes(report) == experiment_bytes(base_report)
+        assert trace.to_json() == base_trace.to_json()
+
+
+def _square(value):
+    return value * value
+
+
+def _die_on_five(value):
+    if value == 5:
+        os._exit(3)  # simulate a segfault: no exception, no cleanup
+    return value
+
+
+def _raise_on_three(value):
+    if value == 3:
+        raise ValueError("cell 3 is poisoned")
+    return value
+
+
+class TestPoolFailureModes:
+    def test_fan_out_matches_serial_map(self):
+        items = list(range(23))
+        expected = [_square(item) for item in items]
+        assert fan_out(items, _square, jobs=3, chunk_size=4) == expected
+        assert fan_out(items, _square, jobs=2) == expected
+
+    def test_worker_crash_mid_chunk_fails_loudly(self):
+        with pytest.raises(RuntimeError, match="died with exit code 3"):
+            fan_out(list(range(12)), _die_on_five, jobs=2, chunk_size=3)
+
+    def test_cell_exception_reraises_original_type(self):
+        with pytest.raises(ValueError, match="cell 3 is poisoned"):
+            fan_out(list(range(8)), _raise_on_three, jobs=2, chunk_size=2)
+
+    def test_progress_advances_per_cell_not_per_chunk(self):
+        calls = []
+        fan_out(
+            list(range(12)),
+            _square,
+            jobs=2,
+            chunk_size=6,
+            progress=lambda done, total: calls.append((done, total)),
+        )
+        assert calls == [(done, 12) for done in range(1, 13)]
+
+    def test_run_chunked_rejects_bad_chunk_size(self):
+        with pytest.raises(ConfigError):
+            run_chunked(lambda a, b, c: None, 4, jobs=2, chunk_size=0)
