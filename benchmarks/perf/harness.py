@@ -17,7 +17,11 @@ reports a throughput metric:
 * ``traced_fleet_events_per_s`` — the same region with full sim-time
   tracing enabled, measuring the telemetry tax;
 * ``sweep_scenarios_per_s`` — parallel scenario-sweep throughput
-  (persistent fork-pool fan-out over a shared-memory arena).
+  (persistent fork-pool fan-out over a shared-memory arena);
+* ``serving_requests_per_s`` / ``serving_p99_fetch_ms`` — the live DPP
+  service plane under a bursty open-loop load test: wall-clock request
+  throughput through the async kernel, plus the (deterministic,
+  virtual-time) P99 trainer fetch latency the same run reports.
 
 Results are merged into one ``BENCH_perf.json`` at the repo root, and
 :func:`compare_against_baseline` turns the committed artifact into a
@@ -47,6 +51,7 @@ SIMCLOCK_CHAINS = 64
 SIMCLOCK_EVENTS = 200_000
 SWEEP_SEEDS = 6
 SWEEP_PROCESSES = 4
+SERVING_REQUESTS = 2_000
 
 #: Fractional slowdown against the committed baseline that fails CI.
 REGRESSION_TOLERANCE = 0.30
@@ -320,6 +325,38 @@ def bench_sweep(repeats: int = 1) -> list[Metric]:
     ]
 
 
+def bench_serving(repeats: int = 1) -> list[Metric]:
+    """The live serving plane: kernel throughput and tail latency.
+
+    Drives the ``serving/bursty`` shape (synchronized-trainer-step
+    bursts under retry-with-backoff) so admission control, both worker
+    pools, and the backoff path are all hot.  The throughput metric is
+    wall-clock — how fast the cooperative kernel turns the load test —
+    while the P99 fetch latency is virtual-time and therefore
+    deterministic: it moves only when plane *behavior* changes, making
+    it a free semantic regression tripwire alongside the perf gate.
+    """
+    from repro.serving import ServingScenario
+
+    scenario = ServingScenario(
+        name="bench/serving",
+        seed=0,
+        arrival_mix="bursty",
+        fetch_policy="retry",
+        n_requests=SERVING_REQUESTS,
+    )
+    elapsed, report = _timed(scenario.run, repeats=repeats)
+    workload = (
+        f"bursty open-loop mix, {SERVING_REQUESTS} fetches, retry policy"
+    )
+    return [
+        Metric(
+            "serving_requests_per_s", report.served / elapsed, "req/s", workload
+        ),
+        Metric("serving_p99_fetch_ms", report.fetch_p99_ms, "ms", workload),
+    ]
+
+
 def run_all(write: bool = True, path: pathlib.Path | None = None) -> dict:
     """Run every microbenchmark; optionally persist the JSON artifact.
 
@@ -338,6 +375,7 @@ def run_all(write: bool = True, path: pathlib.Path | None = None) -> dict:
         bench_fleet,
         bench_traced_fleet,
         bench_sweep,
+        bench_serving,
     ):
         metrics.extend(bench())
     payload = {

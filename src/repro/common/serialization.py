@@ -362,6 +362,7 @@ def _import_builtin_report_modules() -> list[str]:
         "repro.experiments.report",
         "repro.experiments.runner",
         "repro.fleet.report",
+        "repro.serving.report",
         "repro.telemetry.metrics",
         "repro.telemetry.tracer",
         "repro.trainer.stalls",

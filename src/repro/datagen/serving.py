@@ -21,6 +21,24 @@ FEATURES_CATEGORY = "features"
 EVENTS_CATEGORY = "events"
 
 
+def request_id_base(host: str) -> int:
+    """The first request ID a serving host hands out.
+
+    Request IDs must be globally unique across serving hosts or the
+    downstream join silently mismatches; each host gets a disjoint
+    2**32-wide range derived from its name.  The hash must be
+    process-stable: a salted builtin ``hash()`` would give every rerun
+    a different ID range and break serving-trace reproducibility.
+    The serving plane (``repro.serving``) reuses this same base so its
+    simulated trainer fetches share the ID space of logged traffic.
+    """
+    return (stable_hash(host) & 0xFFFF) << 32
+
+
+# The ServingSimulator constructor parameter shadows the function name.
+_host_request_id_base = request_id_base
+
+
 class ServingSimulator:
     """Synthesizes serving-time feature and event logs.
 
@@ -45,14 +63,10 @@ class ServingSimulator:
         self._engagement_rate = engagement_rate
         self._event_loss_rate = event_loss_rate
         self._rng = np.random.default_rng(seed)
-        # Request IDs must be globally unique across serving hosts or
-        # the downstream join silently mismatches; derive a disjoint
-        # range from the daemon's host name unless given explicitly.
-        # The hash must be process-stable: a salted builtin hash()
-        # would give every rerun a different ID range and break
-        # serving-trace reproducibility.
+        # Unless given explicitly, derive a disjoint per-host ID range
+        # (see request_id_base above).
         if request_id_base is None:
-            request_id_base = (stable_hash(daemon.host) & 0xFFFF) << 32
+            request_id_base = _host_request_id_base(daemon.host)
         self._next_request_id = request_id_base
 
     def serve_one(self, timestamp: float) -> int:

@@ -165,6 +165,24 @@ class DppMaster:
                 worker=worker_id,
             )
 
+    def begin_epoch(self) -> int:
+        """Reopen every COMPLETED split for another pass (PENDING again).
+
+        The serving plane loops epochs over a finite table to feed an
+        unbounded fetch stream; splits still ASSIGNED keep their owner
+        (the new epoch starts draining behind them).  Returns the
+        number of splits reopened.
+        """
+        reopened = 0
+        for record in self._records.values():
+            if record.state is SplitState.COMPLETED:
+                record.state = SplitState.PENDING
+                record.assigned_to = None
+                reopened += 1
+        if self.tracer.enabled and reopened:
+            self.tracer.instant("epoch.begin", actor="master", reopened=reopened)
+        return reopened
+
     def _record(self, split_id: int) -> _SplitRecord:
         try:
             return self._records[split_id]
@@ -301,6 +319,12 @@ class ReplicatedMaster:
         requeued = self.primary.worker_failed(worker_id, stranded_split_ids)
         self._standby_checkpoint = self.primary.checkpoint()
         return requeued
+
+    def begin_epoch(self) -> int:
+        """Delegate to the primary, then replicate the reopened state."""
+        reopened = self.primary.begin_epoch()
+        self._standby_checkpoint = self.primary.checkpoint()
+        return reopened
 
     def checkpoint(self) -> MasterCheckpoint:
         """Snapshot the primary's durable state."""

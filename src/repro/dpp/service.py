@@ -102,6 +102,11 @@ class DppSession:
         ]
         self.controller = AutoscalingController(autoscaler_config)
         self.report = SessionReport(peak_workers=n_workers)
+        # Round-pump state (see begin_rounds/pump_round): kept on the
+        # session so an external scheduler can drive rounds one at a
+        # time without owning a local loop.
+        self._delivered: list[TensorBatch] = []
+        self._draining = False
 
     def _spawn_worker(self) -> DppWorker:
         worker = DppWorker(
@@ -221,6 +226,68 @@ class DppSession:
         return decision.delta
 
     # -- the pump ----------------------------------------------------------------
+    #
+    # The pump is exposed as a non-blocking step API: begin_rounds()
+    # resets per-run state, pump_round() executes exactly one fair
+    # round and reports whether the session still has work, and
+    # finish_rounds() seals the report.  The synchronous pump() below
+    # is a thin adapter over those three calls; an external scheduler
+    # (the asyncio serving plane, a co-simulated fleet) interleaves
+    # pump_round() with its own events instead.
+
+    def begin_rounds(self) -> None:
+        """Reset the round-pump state for a fresh run."""
+        self._delivered = []
+        self._draining = False
+
+    def pump_round(self) -> bool:
+        """Execute one fair round; False once the session is complete.
+
+        One round: every live worker processes one split, every client
+        drains available batches, drained workers retire.  Raises if
+        the session cannot finish (e.g. all workers dead and
+        autoscaling disabled).
+        """
+        if self.master.done and not any(
+            worker.buffer for worker in self.serving_workers
+        ):
+            return False
+        if not self.master.done:
+            # done can regress: a worker crash reopens splits whose
+            # batches died unserved.  Re-arm the endgame widening so
+            # the next completion re-evaluates the fan-out.
+            self._draining = False
+        elif not self._draining:
+            # Endgame drain: widen every client's fan-out so no
+            # worker's buffered tensors are stranded behind the
+            # steady-state connection cap.  Drainers still serving
+            # out count — their buffers are part of the session.
+            self._draining = True
+            for client in self.clients:
+                client.max_connections = max(
+                    client.max_connections, len(self.serving_workers)
+                )
+                client.refresh_partition()
+        if not self.master.done and not self.live_workers:
+            raise DppError("session stalled: no live workers")
+        if self.clock is not None and self.round_time_s > 0:
+            self.clock.run_until(self.clock.now + self.round_time_s)
+        for worker in list(self.live_workers):
+            if not self.master.done and worker.wants_work:
+                worker.process_one_split()
+        for client in self.clients:
+            while True:
+                batch = client.get_batch()
+                if batch is None:
+                    break
+                self._delivered.append(batch)
+        self.retire_drained_workers()
+        return True
+
+    def finish_rounds(self) -> SessionReport:
+        """Seal and return the report for the rounds pumped so far."""
+        self._finalize_report(self._delivered)
+        return self.report
 
     def pump(self, max_rounds: int = 100_000) -> SessionReport:
         """Run the session to completion.
@@ -230,50 +297,13 @@ class DppSession:
         Raises if the session cannot finish (e.g. all workers dead and
         autoscaling disabled).
         """
-        delivered: list[TensorBatch] = []
-        draining = False
+        self.begin_rounds()
         for _ in range(max_rounds):
-            if self.master.done and not any(
-                worker.buffer for worker in self.serving_workers
-            ):
+            if not self.pump_round():
                 break
-            if not self.master.done:
-                # done can regress: a worker crash reopens splits whose
-                # batches died unserved.  Re-arm the endgame widening so
-                # the next completion re-evaluates the fan-out.
-                draining = False
-            elif not draining:
-                # Endgame drain: widen every client's fan-out so no
-                # worker's buffered tensors are stranded behind the
-                # steady-state connection cap.  Drainers still serving
-                # out count — their buffers are part of the session.
-                draining = True
-                for client in self.clients:
-                    client.max_connections = max(
-                        client.max_connections, len(self.serving_workers)
-                    )
-                    client.refresh_partition()
-            if not self.master.done and not self.live_workers:
-                raise DppError("session stalled: no live workers")
-            if self.clock is not None and self.round_time_s > 0:
-                self.clock.run_until(self.clock.now + self.round_time_s)
-            progressed = False
-            for worker in list(self.live_workers):
-                if not self.master.done and worker.wants_work:
-                    progressed |= worker.process_one_split()
-            for client in self.clients:
-                while True:
-                    batch = client.get_batch()
-                    if batch is None:
-                        break
-                    delivered.append(batch)
-            self.retire_drained_workers()
-            if not progressed and self.master.done:
-                continue
         else:
             raise DppError("pump exceeded max_rounds")
-        self._finalize_report(delivered)
-        return self.report
+        return self.finish_rounds()
 
     def retire_drained_workers(self) -> None:
         """Retire drainers whose buffers clients have fully emptied."""

@@ -181,7 +181,14 @@ class DppWorker:
     # -- main loop ----------------------------------------------------------
 
     def process_one_split(self) -> bool:
-        """Fetch and fully process one split; False when none remain."""
+        """Fetch and fully process one split; False when none remain.
+
+        A thin recomposition of the public phase API below
+        (:meth:`extract_batches` → :meth:`transform_batch` →
+        :meth:`_load`): the synchronous pump and the async serving
+        plane drive the *same* phase methods, so their data planes
+        cannot drift apart.
+        """
         if not self.alive:
             raise WorkerFailure(f"worker {self.worker_id} is dead")
         split = self.master.request_split(self.worker_id)
@@ -195,9 +202,8 @@ class DppWorker:
             )
         try:
             sequence = 0
-            for batch in self._extract_split(split):
-                transform_report = execute_with_cost(self.spec.dag, batch)
-                self._charge_transform(transform_report)
+            for batch in self.extract_batches(split):
+                self.transform_batch(batch)
                 self._load(batch, split.split_id, sequence)
                 sequence += 1
                 if (
@@ -216,6 +222,54 @@ class DppWorker:
         finally:
             if traced:
                 tracer.end(actor=self.worker_id)
+
+    # -- the non-blocking phase API ------------------------------------------
+    #
+    # Each pipeline phase is its own call so an external scheduler (the
+    # asyncio serving plane) can run extraction and transformation on
+    # *different* workers with queues in between, while the synchronous
+    # pump composes them back into process_one_split unchanged.
+
+    def extract_batches(self, split: Split):
+        """Extract one split into mini-batches (a generator).
+
+        Pure extract phase: decodes stripes, charges extract cost, and
+        yields session-sized :class:`FeatureBatch` slices.  The caller
+        owns split-protocol bookkeeping (``complete_split``) and what
+        happens to each batch next.
+        """
+        return self._extract_split(split)
+
+    def transform_batch(self, batch: FeatureBatch) -> CostReport:
+        """Run the session DAG over one batch and charge its cost."""
+        report = execute_with_cost(self.spec.dag, batch)
+        self._charge_transform(report)
+        return report
+
+    def tensorize(self, batch: FeatureBatch, split_id: int, sequence: int) -> TensorBatch:
+        """Convert a transformed batch into a provenance-stamped tensor
+        batch, without buffering it anywhere."""
+        tensors = TensorBatch.from_feature_batch(
+            batch, self.spec.effective_output_ids()
+        )
+        tensors.split_id = split_id
+        tensors.sequence = sequence
+        return tensors
+
+    def deposit(self, tensors: TensorBatch) -> None:
+        """Load phase: buffer a ready tensor batch for clients."""
+        self.buffer.append(tensors)
+        if self.tracer.enabled:
+            self.tracer.instant(
+                "batch.load",
+                actor=self.worker_id,
+                split_id=-1 if tensors.split_id is None else tensors.split_id,
+                sequence=-1 if tensors.sequence is None else tensors.sequence,
+            )
+        self.stats.batches_produced += 1
+        self.stats.usage.memory_resident_bytes = sum(
+            t.nbytes() for t in self.buffer
+        )
 
     @property
     def buffered_batches(self) -> int:
@@ -433,23 +487,7 @@ class DppWorker:
     # -- load ---------------------------------------------------------------
 
     def _load(self, batch: FeatureBatch, split_id: int, sequence: int) -> None:
-        tensors = TensorBatch.from_feature_batch(
-            batch, self.spec.effective_output_ids()
-        )
-        tensors.split_id = split_id
-        tensors.sequence = sequence
-        self.buffer.append(tensors)
-        if self.tracer.enabled:
-            self.tracer.instant(
-                "batch.load",
-                actor=self.worker_id,
-                split_id=split_id,
-                sequence=sequence,
-            )
-        self.stats.batches_produced += 1
-        self.stats.usage.memory_resident_bytes = sum(
-            t.nbytes() for t in self.buffer
-        )
+        self.deposit(self.tensorize(batch, split_id, sequence))
 
     # -- cost charging ----------------------------------------------------------
 

@@ -30,6 +30,23 @@ from .registry import build_scenario, list_scenarios
 from .runner import SweepRunner, run_experiment, run_experiment_traced
 
 
+#: ETA estimates above this are noise (one slow first cell), not signal.
+_MAX_ETA_S = 360_000.0
+
+
+def _format_eta(elapsed_s: float, done: int, total: int) -> str:
+    """The ETA cell of a progress line, defensively.
+
+    Until a cell completes there is nothing to extrapolate from —
+    ``elapsed / done`` would be ``inf`` (or garbage on the first
+    throttle window) — so render ``--:--``; afterwards, clamp so a
+    pathological first sample cannot print an absurd figure.
+    """
+    if done <= 0:
+        return "--:--"
+    return f"{min(elapsed_s / done * (total - done), _MAX_ETA_S):.0f}s"
+
+
 def _progress_printer(label: str, period_s: float = 1.0):
     """A ``progress(done, total)`` callback printing throttled lines.
 
@@ -46,10 +63,9 @@ def _progress_printer(label: str, period_s: float = 1.0):
             return
         last[0] = now
         elapsed = now - start
-        eta = elapsed / done * (total - done) if done else float("inf")
         print(
             f"{label}: {done}/{total} cells done, "
-            f"{elapsed:.0f}s elapsed, eta {eta:.0f}s",
+            f"{elapsed:.0f}s elapsed, eta {_format_eta(elapsed, done, total)}",
             file=sys.stderr,
         )
 

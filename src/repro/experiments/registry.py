@@ -226,6 +226,13 @@ def _register_builtins() -> None:
         ),
     )
 
+    # The serving entries self-register from their defining module (the
+    # plugin pattern this registry is built for): importing the module
+    # here — not the class — keeps the experiments ↔ serving import
+    # cycle one-directional at attribute-access time, so either package
+    # can be imported first.
+    import repro.serving.scenario  # noqa: F401  (registers serving/*)
+
     register_scenario(
         "dpp/steady-state",
         "dpp",

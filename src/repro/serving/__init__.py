@@ -1,0 +1,44 @@
+"""The live DPP service plane (Section 3.2 made load-testable).
+
+A deterministic cooperative async kernel (:mod:`repro.serving.kernel`)
+hosts DPP sessions behind real bounded queues: role-split extraction
+and transform worker pools with independent autoscaling, an admission-
+controlled trainer fetch queue with shed/retry policies, and an
+open-loop arrival process — all on virtual time, so load tests are
+reproducible artifacts like every other experiment in the repo.
+"""
+
+from .kernel import Kernel, KernelError, Queue, Task
+from .plane import (
+    ARRIVAL_MIXES,
+    FEEDER_ID,
+    FETCH_POLICIES,
+    ExtractTask,
+    FetchRequest,
+    PlaneConfig,
+    ServingPlane,
+    TransformTask,
+    WorkerPool,
+)
+from .report import PoolStats, QueueStats, ServingReport
+from .scenario import ServingScenario
+
+__all__ = [
+    "ARRIVAL_MIXES",
+    "FEEDER_ID",
+    "FETCH_POLICIES",
+    "ExtractTask",
+    "FetchRequest",
+    "Kernel",
+    "KernelError",
+    "PlaneConfig",
+    "PoolStats",
+    "Queue",
+    "QueueStats",
+    "ServingPlane",
+    "ServingReport",
+    "ServingScenario",
+    "Task",
+    "TransformTask",
+    "WorkerPool",
+]

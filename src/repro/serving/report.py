@@ -1,0 +1,242 @@
+"""The serving-plane load-test report.
+
+Everything here is measured in *virtual* time, so a report is a pure
+function of (scenario, seed): re-running the same load test — serially,
+pooled, or on another machine — produces a byte-identical artifact.
+Wall-clock throughput lives in ``benchmarks/perf``, not here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..common.serialization import (
+    ReportBase,
+    percentile,
+    require_keys,
+    revive_floats,
+)
+
+_FLOAT_FIELDS = (
+    "duration_s",
+    "requests_per_s",
+    "fetch_p50_ms",
+    "fetch_p99_ms",
+    "fetch_p999_ms",
+    "fetch_mean_ms",
+)
+
+#: Per-queue depth statistics rows carry these keys.
+_QUEUE_KEYS = ("name", "peak_depth", "mean_depth", "total_enqueued")
+
+#: Per-pool sizing rows carry these keys.
+_POOL_KEYS = ("role", "initial", "peak", "final", "launches", "drains")
+
+
+@dataclass
+class QueueStats:
+    """Backlog statistics for one bounded queue."""
+
+    name: str
+    peak_depth: int = 0
+    mean_depth: float = 0.0
+    total_enqueued: int = 0
+
+    def to_row(self) -> dict:
+        return {
+            "name": self.name,
+            "peak_depth": self.peak_depth,
+            "mean_depth": self.mean_depth,
+            "total_enqueued": self.total_enqueued,
+        }
+
+    @classmethod
+    def from_row(cls, row: dict) -> "QueueStats":
+        require_keys(row, required=_QUEUE_KEYS, context="queue stats")
+        return cls(
+            name=row["name"],
+            peak_depth=int(row["peak_depth"]),
+            mean_depth=float(row["mean_depth"]),
+            total_enqueued=int(row["total_enqueued"]),
+        )
+
+
+@dataclass
+class PoolStats:
+    """Sizing history for one role-split worker pool."""
+
+    role: str
+    initial: int = 0
+    peak: int = 0
+    final: int = 0
+    launches: int = 0
+    drains: int = 0
+
+    def to_row(self) -> dict:
+        return {
+            "role": self.role,
+            "initial": self.initial,
+            "peak": self.peak,
+            "final": self.final,
+            "launches": self.launches,
+            "drains": self.drains,
+        }
+
+    @classmethod
+    def from_row(cls, row: dict) -> "PoolStats":
+        require_keys(row, required=_POOL_KEYS, context="pool stats")
+        return cls(
+            role=row["role"],
+            initial=int(row["initial"]),
+            peak=int(row["peak"]),
+            final=int(row["final"]),
+            launches=int(row["launches"]),
+            drains=int(row["drains"]),
+        )
+
+
+@dataclass
+class ServingReport(ReportBase):
+    """One open-loop serving load test, summarized.
+
+    ``arrivals == served + shed`` always holds on a completed run: every
+    generated trainer fetch either got a tensor batch or was dropped by
+    admission control (possibly after retries).  Latency percentiles
+    use the repo's ceiling-index tail convention (see
+    :func:`~repro.common.serialization.percentile`).
+    """
+
+    report_kind = "serving"
+
+    arrivals: int = 0
+    served: int = 0
+    shed: int = 0
+    retries: int = 0
+    epochs: int = 0
+    batches_produced: int = 0
+    duration_s: float = 0.0
+    requests_per_s: float = 0.0
+    fetch_p50_ms: float = 0.0
+    fetch_p99_ms: float = 0.0
+    fetch_p999_ms: float = 0.0
+    fetch_mean_ms: float = 0.0
+    queues: list[QueueStats] = field(default_factory=list)
+    pools: list[PoolStats] = field(default_factory=list)
+
+    @classmethod
+    def from_latencies(
+        cls, latencies_s: list[float], **fields: object
+    ) -> "ServingReport":
+        """Build with the percentile block computed from raw latencies."""
+        ms = [1_000.0 * v for v in latencies_s]
+        return cls(
+            fetch_p50_ms=percentile(ms, 50.0),
+            fetch_p99_ms=percentile(ms, 99.0),
+            fetch_p999_ms=percentile(ms, 99.9),
+            fetch_mean_ms=sum(ms) / len(ms) if ms else float("nan"),
+            **fields,  # type: ignore[arg-type]
+        )
+
+    # -- serialization ---------------------------------------------------------
+
+    def payload(self) -> dict:
+        return {
+            "arrivals": self.arrivals,
+            "served": self.served,
+            "shed": self.shed,
+            "retries": self.retries,
+            "epochs": self.epochs,
+            "batches_produced": self.batches_produced,
+            "duration_s": self.duration_s,
+            "requests_per_s": self.requests_per_s,
+            "fetch_p50_ms": self.fetch_p50_ms,
+            "fetch_p99_ms": self.fetch_p99_ms,
+            "fetch_p999_ms": self.fetch_p999_ms,
+            "fetch_mean_ms": self.fetch_mean_ms,
+            "queues": [q.to_row() for q in self.queues],
+            "pools": [p.to_row() for p in self.pools],
+        }
+
+    @classmethod
+    def from_payload(cls, payload: dict) -> "ServingReport":
+        require_keys(
+            payload,
+            required=(
+                "arrivals",
+                "served",
+                "shed",
+                "retries",
+                "epochs",
+                "batches_produced",
+                "queues",
+                "pools",
+                *_FLOAT_FIELDS,
+            ),
+            context="serving report",
+        )
+        revived = revive_floats(payload, _FLOAT_FIELDS)
+        return cls(
+            arrivals=int(revived["arrivals"]),
+            served=int(revived["served"]),
+            shed=int(revived["shed"]),
+            retries=int(revived["retries"]),
+            epochs=int(revived["epochs"]),
+            batches_produced=int(revived["batches_produced"]),
+            duration_s=revived["duration_s"],
+            requests_per_s=revived["requests_per_s"],
+            fetch_p50_ms=revived["fetch_p50_ms"],
+            fetch_p99_ms=revived["fetch_p99_ms"],
+            fetch_p999_ms=revived["fetch_p999_ms"],
+            fetch_mean_ms=revived["fetch_mean_ms"],
+            queues=[QueueStats.from_row(row) for row in revived["queues"]],
+            pools=[PoolStats.from_row(row) for row in revived["pools"]],
+        )
+
+    # -- telemetry -------------------------------------------------------------
+
+    def metrics(self) -> dict[str, float]:
+        out = {
+            "serving.arrivals": float(self.arrivals),
+            "serving.served": float(self.served),
+            "serving.shed": float(self.shed),
+            "serving.retries": float(self.retries),
+            "serving.epochs": float(self.epochs),
+            "serving.requests_per_s": self.requests_per_s,
+            "serving.fetch_p50_ms": self.fetch_p50_ms,
+            "serving.fetch_p99_ms": self.fetch_p99_ms,
+            "serving.fetch_p999_ms": self.fetch_p999_ms,
+        }
+        for queue in self.queues:
+            out[f"serving.{queue.name}_peak_depth"] = float(queue.peak_depth)
+        for pool in self.pools:
+            out[f"serving.{pool.role}_pool_peak"] = float(pool.peak)
+        return out
+
+    def render(self) -> str:
+        """Multi-line human summary for the CLI."""
+        lines = [
+            "serving load test",
+            f"  requests      {self.arrivals} arrived, {self.served} served, "
+            f"{self.shed} shed, {self.retries} retries",
+            f"  sustained     {self.requests_per_s:.1f} req/s over "
+            f"{self.duration_s:.1f}s virtual ({self.epochs} epochs, "
+            f"{self.batches_produced} batches)",
+            f"  fetch latency p50 {self.fetch_p50_ms:.2f} ms · "
+            f"p99 {self.fetch_p99_ms:.2f} ms · "
+            f"p999 {self.fetch_p999_ms:.2f} ms",
+        ]
+        for queue in self.queues:
+            lines.append(
+                f"  queue {queue.name:<10} peak {queue.peak_depth:>5} "
+                f"mean {queue.mean_depth:>8.2f} "
+                f"enqueued {queue.total_enqueued}"
+            )
+        for pool in self.pools:
+            lines.append(
+                f"  pool  {pool.role:<10} {pool.initial} -> {pool.final} "
+                f"(peak {pool.peak}, +{pool.launches}/-{pool.drains})"
+            )
+        return "\n".join(lines)
+
+    def describe(self) -> str:
+        return self.render()

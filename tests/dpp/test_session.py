@@ -1,5 +1,7 @@
 """End-to-end DPP sessions: the pump, scaling, and fault injection."""
 
+import dataclasses
+
 import pytest
 
 from repro.common.errors import DppError
@@ -14,6 +16,35 @@ def make_session(published, **kwargs):
     spec_overrides = kwargs.pop("spec_overrides", {})
     spec = make_spec(schema, **spec_overrides)
     return DppSession(spec, filesystem, schema, footers, **kwargs)
+
+
+class TestStepApi:
+    """pump() is a thin adapter over the non-blocking round API."""
+
+    def test_pump_equals_explicit_rounds_byte_identically(self, published):
+        pumped = make_session(published, n_workers=2).pump()
+
+        stepped_session = make_session(published, n_workers=2)
+        stepped_session.begin_rounds()
+        rounds = 0
+        while stepped_session.pump_round():
+            rounds += 1
+        stepped = stepped_session.finish_rounds()
+        assert rounds > 0
+        assert dataclasses.asdict(stepped) == dataclasses.asdict(pumped)
+
+    def test_rounds_can_be_observed_midway(self, published):
+        # The non-blocking API exists so an external loop (the serving
+        # plane, a chaos schedule) can interleave work between rounds.
+        session = make_session(published, n_workers=2)
+        session.begin_rounds()
+        assert session.pump_round() is True
+        assert not session.master.done  # mid-flight, by construction
+        while session.pump_round():
+            pass
+        report = session.finish_rounds()
+        assert session.master.done
+        assert report.rows_processed > 0
 
 
 class TestSessionSpec:

@@ -1,0 +1,43 @@
+"""The CLI progress line's ETA: ``--:--`` until extrapolation is sane."""
+
+from repro.experiments.__main__ import (
+    _MAX_ETA_S,
+    _format_eta,
+    _progress_printer,
+)
+
+
+class TestFormatEta:
+    def test_unknown_until_the_first_cell_completes(self):
+        assert _format_eta(5.0, 0, 100) == "--:--"
+        assert _format_eta(0.0, 0, 100) == "--:--"
+
+    def test_extrapolates_from_completed_cells(self):
+        # 2 cells in 10 s → 5 s/cell → 8 remaining → 40 s.
+        assert _format_eta(10.0, 2, 10) == "40s"
+
+    def test_zero_remaining_is_zero(self):
+        assert _format_eta(10.0, 10, 10) == "0s"
+
+    def test_clamped_against_pathological_first_samples(self):
+        line = _format_eta(1.0e9, 1, 1_000_000)
+        assert line == f"{_MAX_ETA_S:.0f}s"
+        assert "inf" not in line
+
+
+class TestProgressPrinter:
+    def test_first_window_renders_the_placeholder(self, capsys):
+        progress = _progress_printer("grid", period_s=0.0)
+        progress(0, 8)
+        err = capsys.readouterr().err
+        assert "grid: 0/8 cells done" in err
+        assert "eta --:--" in err
+        assert "inf" not in err and "nan" not in err
+
+    def test_after_the_first_cell_the_eta_is_numeric(self, capsys):
+        progress = _progress_printer("grid", period_s=0.0)
+        progress(2, 8)
+        err = capsys.readouterr().err
+        assert "grid: 2/8 cells done" in err
+        assert "--:--" not in err
+        assert "eta " in err and err.rstrip().endswith("s")

@@ -17,7 +17,9 @@ class TestBuiltinCatalog:
     def test_at_least_eight_scenarios_spanning_all_kinds(self):
         entries = list_scenarios()
         assert len(entries) >= 8
-        assert {entry.kind for entry in entries} == {"fleet", "chaos", "dpp"}
+        assert {entry.kind for entry in entries} == {
+            "fleet", "chaos", "dpp", "serving",
+        }
 
     def test_listing_is_sorted_and_stable(self):
         names = [entry.name for entry in list_scenarios()]

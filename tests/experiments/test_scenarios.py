@@ -21,8 +21,13 @@ from repro.experiments.scenarios import (
     mix_to_overrides,
 )
 
-ALL_KINDS = ("fleet", "chaos", "dpp")
-ONE_OF_EACH = ("fleet/storm", "chaos/worst-case", "dpp/worker-churn")
+ALL_KINDS = ("fleet", "chaos", "dpp", "serving")
+ONE_OF_EACH = (
+    "fleet/storm",
+    "chaos/worst-case",
+    "dpp/worker-churn",
+    "serving/bursty",
+)
 
 
 class TestProtocol:

@@ -38,6 +38,35 @@ class TestDeprecationWarning:
         )
         assert probe.returncode == 0, probe.stderr
 
+    def test_warning_names_the_replacement(self):
+        # The removal note in README points migrating scripts at
+        # repro.experiments; the warning must carry the same pointer,
+        # including the CLI replacement. In-process: evict the module
+        # so the import (and its warning) re-fires.
+        import importlib
+        import sys
+        import warnings
+
+        evicted = {
+            name: sys.modules.pop(name)
+            for name in list(sys.modules)
+            if name == "repro.sweep" or name.startswith("repro.sweep.")
+        }
+        try:
+            with warnings.catch_warnings(record=True) as caught:
+                warnings.simplefilter("always")
+                importlib.import_module("repro.sweep")
+        finally:
+            sys.modules.update(evicted)
+        deprecations = [
+            w for w in caught if issubclass(w.category, DeprecationWarning)
+        ]
+        assert len(deprecations) == 1, [str(w.message) for w in caught]
+        message = str(deprecations[0].message)
+        assert "repro.sweep is deprecated" in message
+        assert "use repro.experiments" in message
+        assert "python -m repro.experiments sweep" in message
+
     def test_experiments_import_does_not_warn(self):
         probe = run_python(
             "import warnings\n"
