@@ -18,6 +18,9 @@ reports a throughput metric:
   tracing enabled, measuring the telemetry tax;
 * ``sweep_scenarios_per_s`` — parallel scenario-sweep throughput
   (persistent fork-pool fan-out over a shared-memory arena);
+* ``journaled_sweep_scenarios_per_s`` — the same sweep with the
+  crash-safe run journal enabled (one fsync'd JSONL append per cell),
+  measuring the durability tax against ``sweep_scenarios_per_s``;
 * ``serving_requests_per_s`` / ``serving_p99_fetch_ms`` — the live DPP
   service plane under a bursty open-loop load test: wall-clock request
   throughput through the async kernel, plus the (deterministic,
@@ -325,6 +328,44 @@ def bench_sweep(repeats: int = 1) -> list[Metric]:
     ]
 
 
+def bench_sweep_journaled(repeats: int = 1) -> list[Metric]:
+    """The same sweep with the crash-safe run journal turned on.
+
+    Every completed cell costs one compact-JSON append plus an
+    ``fsync`` before the pool moves on, so the gap between this and
+    ``sweep_scenarios_per_s`` is the durability tax.  The 30%
+    regression gate on this metric is the journal-overhead budget the
+    fault-tolerance plane has to live inside.
+    """
+    import tempfile
+
+    from repro.experiments import SweepRunner
+
+    grid = _sweep_grid()
+
+    def run_sweep() -> int:
+        with tempfile.TemporaryDirectory() as scratch:
+            journal = pathlib.Path(scratch) / "bench.journal.jsonl"
+            report = SweepRunner(grid, jobs=SWEEP_PROCESSES).run(
+                journal_path=journal
+            )
+            return len(report.results)
+
+    elapsed, scenarios = _timed(run_sweep, repeats=repeats)
+    workload = (
+        f"{len(grid)} scenarios, {SWEEP_PROCESSES} processes, "
+        "fsync'd journal per cell"
+    )
+    return [
+        Metric(
+            "journaled_sweep_scenarios_per_s",
+            scenarios / elapsed,
+            "scenarios/s",
+            workload,
+        )
+    ]
+
+
 def bench_serving(repeats: int = 1) -> list[Metric]:
     """The live serving plane: kernel throughput and tail latency.
 
@@ -375,6 +416,7 @@ def run_all(write: bool = True, path: pathlib.Path | None = None) -> dict:
         bench_fleet,
         bench_traced_fleet,
         bench_sweep,
+        bench_sweep_journaled,
         bench_serving,
     ):
         metrics.extend(bench())
@@ -386,8 +428,12 @@ def run_all(write: bool = True, path: pathlib.Path | None = None) -> dict:
         },
     }
     if write:
+        from repro.common.serialization import atomic_write_text
+
         target = BENCH_PATH if path is None else path
-        target.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+        atomic_write_text(
+            target, json.dumps(payload, indent=2, sort_keys=True) + "\n"
+        )
     return payload
 
 

@@ -30,6 +30,7 @@ REQUIRED_METRICS = {
     "fleet_events_per_s",
     "traced_fleet_events_per_s",
     "sweep_scenarios_per_s",
+    "journaled_sweep_scenarios_per_s",
     "serving_requests_per_s",
     "serving_p99_fetch_ms",
 }

@@ -27,7 +27,9 @@ from __future__ import annotations
 
 import json
 import math
+import os
 import pathlib
+import tempfile
 from typing import Any, ClassVar, Iterable, Mapping
 
 from .errors import FormatError, ReproError
@@ -108,6 +110,34 @@ def revive_floats(row: Mapping[str, Any], float_fields: Iterable[str]) -> dict:
         if name in revived:
             revived[name] = revive_float(revived[name])
     return revived
+
+
+def atomic_write_text(path: str | pathlib.Path, text: str) -> pathlib.Path:
+    """Write *text* to *path* atomically: temp file in the same
+    directory, flush + fsync, then ``os.replace``.
+
+    A crash (or SIGKILL) mid-write therefore leaves either the old
+    artifact or the new one on disk — never a torn JSON document.  The
+    temp file lives beside the target so the rename stays on one
+    filesystem, which is what makes the replace atomic.
+    """
+    target = pathlib.Path(path)
+    handle, temp_name = tempfile.mkstemp(
+        dir=target.parent, prefix=f".{target.name}.", suffix=".tmp"
+    )
+    try:
+        with os.fdopen(handle, "w") as stream:
+            stream.write(text)
+            stream.flush()
+            os.fsync(stream.fileno())
+        os.replace(temp_name, target)
+    except BaseException:
+        try:
+            os.unlink(temp_name)
+        except OSError:
+            pass
+        raise
+    return target
 
 
 def require_keys(
@@ -288,10 +318,10 @@ class ReportBase:
         return cls.from_envelope(load_json(text))
 
     def write(self, path: str | pathlib.Path) -> pathlib.Path:
-        """Persist the JSON artifact; returns the path written."""
-        target = pathlib.Path(path)
-        target.write_text(self.to_json())
-        return target
+        """Persist the JSON artifact atomically; returns the path
+        written.  See :func:`atomic_write_text` — a crash mid-write can
+        never leave a torn artifact."""
+        return atomic_write_text(path, self.to_json())
 
     @classmethod
     def read(cls, path: str | pathlib.Path) -> "ReportBase":

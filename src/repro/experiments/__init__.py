@@ -20,7 +20,13 @@ speaks one contract:
   (:mod:`grid`, :mod:`report`);
 * the **telemetry schema** — every run returns a
   :class:`~repro.common.serialization.ReportBase`, so all artifacts
-  serialize, revive, merge, and diff the same way.
+  serialize, revive, merge, and diff the same way;
+* the **fault-tolerance plane** (:mod:`journal`, :mod:`pool`) —
+  :class:`RunJournal` appends one fsync'd record per completed cell so
+  a killed sweep resumes byte-identically (``sweep --resume``), while
+  the supervised pool requeues chunks from dead workers, respawns them
+  under capped backoff, and bisects-and-quarantines poison cells
+  instead of aborting the sweep.
 
 ``python -m repro.experiments {list,run,sweep}`` is the CLI face.
 ``repro.sweep`` remains as a deprecated alias of the sweep half.
@@ -28,6 +34,7 @@ speaks one contract:
 
 from .base import Scenario, scenario_from_json, scenario_kinds
 from .grid import ScenarioGrid, ScenarioSpec, grid_from_json, quick_grid
+from .journal import RunJournal, cell_identities, grid_hash, load_journal, spec_hash
 from .registry import (
     RegistryEntry,
     build_scenario,
@@ -36,8 +43,17 @@ from .registry import (
     register_scenario,
     unregister_scenario,
 )
-from .pool import SweepArena, auto_chunk_size, fork_available, run_chunked
-from .report import CELL_METRICS, ScenarioResult, SweepReport
+from .pool import (
+    PoolPolicy,
+    PoolStats,
+    SweepArena,
+    auto_chunk_size,
+    fault_kill_on_cell,
+    fault_raise_on_cell,
+    fork_available,
+    run_chunked,
+)
+from .report import CELL_METRICS, FailureReport, ScenarioResult, SweepReport
 from .runner import (
     ExperimentEntry,
     ExperimentReport,
@@ -63,9 +79,13 @@ __all__ = [
     "ExperimentEntry",
     "ExperimentReport",
     "ExperimentRunner",
+    "FailureReport",
     "FleetRegionScenario",
     "MAX_EVENTS_PER_SCENARIO",
+    "PoolPolicy",
+    "PoolStats",
     "RegistryEntry",
+    "RunJournal",
     "Scenario",
     "ScenarioGrid",
     "ScenarioResult",
@@ -75,9 +95,14 @@ __all__ = [
     "SweepRunner",
     "auto_chunk_size",
     "build_scenario",
+    "cell_identities",
     "fan_out",
+    "fault_kill_on_cell",
+    "fault_raise_on_cell",
     "fork_available",
     "get_scenario",
+    "grid_hash",
+    "load_journal",
     "run_chunked",
     "grid_from_json",
     "list_scenarios",
@@ -89,5 +114,6 @@ __all__ = [
     "run_scenario_spec_traced",
     "scenario_from_json",
     "scenario_kinds",
+    "spec_hash",
     "unregister_scenario",
 ]

@@ -12,6 +12,11 @@ Subcommands::
     python -m repro.experiments sweep --quick --jobs 4 --out sweep.json
     python -m repro.experiments sweep --grid grid.json --seeds 0,1,2,3
 
+    # Crash-safe campaigns: journal every completed cell, resume a
+    # killed run without recomputing what already finished
+    python -m repro.experiments sweep --quick --jobs 4 \\
+        --resume sweep.journal.jsonl --out sweep.json
+
 Every artifact is a :mod:`repro.common.serialization` report document:
 ``repro.common.report_from_json`` revives any of them.
 """
@@ -23,9 +28,11 @@ import dataclasses
 import sys
 import time
 
+from ..common.errors import ConfigError
 from ..telemetry.logs import configure_logging
 from .base import scenario_kinds
 from .grid import ScenarioGrid, grid_from_json, quick_grid
+from .pool import PoolPolicy
 from .registry import build_scenario, list_scenarios
 from .runner import SweepRunner, run_experiment, run_experiment_traced
 
@@ -126,16 +133,47 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         if seeds:
             grid = dataclasses.replace(grid, seeds=seeds)
 
+    journal_path = args.resume or args.journal
+    if args.trace and journal_path:
+        raise ConfigError(
+            "--trace cannot be combined with --journal/--resume: traced "
+            "runs keep the fail-fast contract (see SweepRunner.run_traced)"
+        )
+    policy = PoolPolicy(chunk_timeout_s=args.chunk_timeout)
     runner = SweepRunner(
-        grid, jobs=args.jobs or None, chunk_cells=args.chunk
+        grid,
+        jobs=args.jobs or None,
+        chunk_cells=args.chunk,
+        policy=policy,
+        quarantine=not args.no_quarantine,
     )
     progress = None if args.quiet else _progress_printer(args.name)
-    if args.trace:
-        report, trace = runner.run_traced(
-            grid_name=args.name, progress=progress
-        )
-    else:
-        report, trace = runner.run(grid_name=args.name, progress=progress), None
+    try:
+        if args.trace:
+            report, trace = runner.run_traced(
+                grid_name=args.name, progress=progress
+            )
+        else:
+            report, trace = (
+                runner.run(
+                    grid_name=args.name,
+                    progress=progress,
+                    journal_path=journal_path,
+                    resume=bool(args.resume),
+                ),
+                None,
+            )
+    except KeyboardInterrupt:
+        # Workers are already terminated and the journal closed (every
+        # append was fsync'd), so the campaign is safe to pick up.
+        print("sweep interrupted", file=sys.stderr)
+        if journal_path:
+            print(
+                f"resumable from {journal_path}: re-run with "
+                f"--resume {journal_path}",
+                file=sys.stderr,
+            )
+        return 130
     if not args.quiet:
         print(report.render())
     if args.out:
@@ -226,6 +264,34 @@ def build_parser(prog: str = "python -m repro.experiments") -> argparse.Argument
     )
     sweep_parser.add_argument(
         "--name", default="sweep", help="grid name recorded in the artifact"
+    )
+    journal_group = sweep_parser.add_mutually_exclusive_group()
+    journal_group.add_argument(
+        "--journal",
+        metavar="PATH",
+        help="start a fresh run journal here (append-only JSONL, fsync'd "
+        "per cell) so a killed sweep can be resumed",
+    )
+    journal_group.add_argument(
+        "--resume",
+        metavar="PATH",
+        help="resume from (or start) a run journal: completed cells are "
+        "restored, only the remainder computes; the final report is "
+        "byte-identical to an uninterrupted run",
+    )
+    sweep_parser.add_argument(
+        "--chunk-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="kill workers whose chunk exceeds this wall-clock budget; "
+        "the chunk is retried / its poison cell quarantined",
+    )
+    sweep_parser.add_argument(
+        "--no-quarantine",
+        action="store_true",
+        help="fail fast on any cell failure instead of quarantining "
+        "isolated poison cells",
     )
     sweep_parser.add_argument("--out", help="write the SweepReport JSON here")
     sweep_parser.add_argument(

@@ -62,6 +62,8 @@ class ScenarioResult:
     peak_power_watts: float
     events_fired: int
     wall_s: float
+    status: str = "ok"  # "ok" | "quarantined"
+    error: str = ""  # deterministic failure detail when quarantined
 
     _FLOAT_FIELDS = (
         "makespan_s",
@@ -117,6 +119,36 @@ class ScenarioResult:
         )
 
     @classmethod
+    def failed(
+        cls, name: str, cell: str, trace_seed: int, error: str
+    ) -> "ScenarioResult":
+        """A quarantined poison cell: zero/nan metrics plus the
+        deterministic failure detail, so the sweep reports the loss
+        instead of aborting.  ``wall_s`` is pinned to zero — a crash's
+        elapsed time is not reproducible and must not leak into the
+        byte-identity contract."""
+        return cls(
+            name=name,
+            cell=cell,
+            trace_seed=trace_seed,
+            jobs_submitted=0,
+            jobs_completed=0,
+            peak_concurrency=0,
+            makespan_s=0.0,
+            aggregate_samples_per_s=math.nan,
+            mean_slowdown=math.nan,
+            mean_stall_fraction=math.nan,
+            p95_queue_delay_s=math.nan,
+            mean_storage_utilization=0.0,
+            peak_storage_utilization=0.0,
+            peak_power_watts=0.0,
+            events_fired=0,
+            wall_s=0.0,
+            status="quarantined",
+            error=error,
+        )
+
+    @classmethod
     def empty(cls, name: str, cell: str, trace_seed: int, wall_s: float):
         """The legal zero-arrival cell: report the empty outcome rather
         than poisoning the whole sweep."""
@@ -144,9 +176,14 @@ class ScenarioResult:
 
     @classmethod
     def from_row(cls, row: dict) -> "ScenarioResult":
+        # status / error are optional so pre-quarantine artifacts (and
+        # journals written before this schema) still revive.
         require_keys(
             row,
-            required=tuple(f.name for f in fields(cls)),
+            required=tuple(
+                f.name for f in fields(cls) if f.name not in ("status", "error")
+            ),
+            optional=("status", "error"),
             context="sweep scenario result",
         )
         return cls(**revive_floats(row, cls._FLOAT_FIELDS))
@@ -211,6 +248,11 @@ class SweepReport(ReportBase):
             raise ConfigError("sweep recorded no wall time")
         return len(self.results) / self.total_wall_s
 
+    @property
+    def quarantined(self) -> list[ScenarioResult]:
+        """Poison cells the self-healing pool isolated, in name order."""
+        return [r for r in self.results if r.status == "quarantined"]
+
     # -- shared telemetry surface ----------------------------------------------
 
     def payload(self) -> dict:
@@ -254,7 +296,46 @@ class SweepReport(ReportBase):
                 sum(r.jobs_completed for r in self.results)
             ),
             "sweep.total_wall_s": self.total_wall_s,
+            "sweep.quarantined": float(len(self.quarantined)),
         }
+
+    def deterministic_payload(self) -> dict:
+        """The payload with every wall-clock field neutralized.
+
+        Wall time and the fault-tolerance incident counters are the two
+        legitimately execution-dependent surfaces in a sweep artifact
+        (a retried chunk changes the counters, not the science);
+        zeroing ``total_wall_s``, ``jobs``, and per-row ``wall_s`` and
+        dropping ``extras["fault_tolerance"]`` leaves exactly the bytes
+        the determinism contract covers — serial == pooled ==
+        crashed-and-resumed.  Quarantine statuses and error details
+        *are* covered: a poison cell quarantines identically every run.
+        """
+        payload = self.payload()
+        payload["total_wall_s"] = 0.0
+        payload["jobs"] = 0
+        payload["extras"] = {
+            key: value
+            for key, value in payload["extras"].items()
+            if key != "fault_tolerance"
+        }
+        for row in payload["scenarios"]:
+            row["wall_s"] = 0.0
+        return payload
+
+    def deterministic_json(self) -> str:
+        """Canonical JSON of :meth:`deterministic_payload` — the string
+        byte-identity tests and the CI resume-smoke compare."""
+        from ..common.serialization import dump_json, null_specials
+
+        return dump_json(
+            null_specials(
+                {
+                    "report": self.report_kind,
+                    "payload": self.deterministic_payload(),
+                }
+            )
+        )
 
     def merge(self, other: "ReportBase") -> "SweepReport":
         """Fold another sweep in (e.g. a later seed batch over the same
@@ -318,6 +399,19 @@ class SweepReport(ReportBase):
         summary = [
             f"scenarios: {len(self.results)} across {len(self.cells)} cells",
         ]
+        if self.quarantined:
+            names = ", ".join(r.name for r in self.quarantined[:3])
+            if len(self.quarantined) > 3:
+                names += ", ..."
+            summary.append(
+                f"quarantined: {len(self.quarantined)} poison cell(s) — {names}"
+            )
+        fault = self.extras.get("fault_tolerance")
+        if fault:
+            summary.append(
+                "fault tolerance: "
+                + ", ".join(f"{key}={fault[key]}" for key in sorted(fault))
+            )
         if self.total_wall_s > 0:
             summary.append(
                 f"wall time: {self.total_wall_s:.1f} s with {self.jobs} "
@@ -331,3 +425,38 @@ def _fmt(value: float, scale: float, pattern: str) -> str:
     if math.isnan(value):
         return "-"
     return pattern.format(value / scale)
+
+
+@dataclass
+class FailureReport(ReportBase):
+    """The report of a scenario that could not produce one.
+
+    Quarantined cells in an :class:`ExperimentRunner` batch still need
+    a child report under the experiment envelope; this is that stand-in
+    — the scenario's name and the deterministic failure detail, nothing
+    else.  It revives, diffs, and merges like any other kind, so an
+    archived batch with casualties stays loadable.
+    """
+
+    report_kind = "failure"
+
+    scenario: str
+    error: str
+
+    def payload(self) -> dict:
+        return {"scenario": self.scenario, "error": self.error}
+
+    @classmethod
+    def from_payload(cls, payload: dict) -> "FailureReport":
+        require_keys(
+            payload,
+            required=("scenario", "error"),
+            context="failure report",
+        )
+        return cls(scenario=payload["scenario"], error=payload["error"])
+
+    def metrics(self) -> dict[str, float]:
+        return {"failure.scenarios": 1.0}
+
+    def render(self) -> str:
+        return f"scenario {self.scenario!r} quarantined: {self.error}"

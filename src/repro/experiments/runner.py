@@ -25,14 +25,25 @@ reports sort canonically before aggregation — process scheduling can
 never leak into the artifact.  Where the ``fork`` start method is
 unavailable, :func:`fan_out` falls back to a futures pool with
 per-item pickling (same results, lower throughput).
+
+Both runners also inherit the pool's fault tolerance (see
+:mod:`repro.experiments.pool`): dead workers respawn, their chunks
+retry, and isolated poison cells quarantine as failed results instead
+of aborting the campaign.  :class:`SweepRunner` additionally speaks
+the run-journal protocol (:mod:`repro.experiments.journal`): pass
+``journal_path`` and every completed cell is durably logged, pass
+``resume=True`` and a killed sweep picks up where it stopped — with a
+final report byte-identical (modulo wall clock) to a run that was
+never interrupted.
 """
 
 from __future__ import annotations
 
 import os
+import pathlib
 import time
 from concurrent.futures import ProcessPoolExecutor, as_completed
-from dataclasses import dataclass
+from dataclasses import dataclass, field, replace
 from typing import Callable, Sequence
 
 from ..common.errors import ConfigError
@@ -40,8 +51,15 @@ from ..common.serialization import ReportBase, require_keys, revive_float
 from ..telemetry.tracer import Trace, Tracer, merge_traces
 from .base import Scenario
 from .grid import ScenarioGrid
-from .pool import SweepArena, fork_available, run_chunked
-from .report import ScenarioResult, SweepReport
+from .journal import RunJournal, cell_identities
+from .pool import (
+    PoolPolicy,
+    PoolStats,
+    SweepArena,
+    fork_available,
+    run_chunked,
+)
+from .report import FailureReport, ScenarioResult, SweepReport
 from .scenarios import FleetRegionScenario, MAX_EVENTS_PER_SCENARIO
 
 #: ``progress(done, total)`` — called after each completed item.
@@ -77,6 +95,9 @@ def fan_out(
     jobs: int,
     progress: ProgressFn | None = None,
     chunk_size: int | None = None,
+    policy: PoolPolicy | None = None,
+    on_item_failed: Callable[[int, str], object] | None = None,
+    stats: PoolStats | None = None,
 ) -> list:
     """Apply *fn* over *items*, inline or across persistent workers.
 
@@ -91,31 +112,64 @@ def fan_out(
     *progress* is called after each item finishes — in completion
     order, which process scheduling may permute; only the counts are
     meaningful, never an item identity.
+
+    Fault tolerance (see :func:`~repro.experiments.pool.run_chunked`):
+    with *on_item_failed* a poison item — one that keeps raising or
+    killing its worker past *policy*'s retry budget — is quarantined:
+    ``on_item_failed(index, detail)`` supplies the replacement value
+    for its result slot and the batch completes.  Without it failures
+    re-raise (the legacy fail-fast contract).  The inline and futures
+    paths honor the same hook for in-process exceptions, so ``jobs=1``
+    and ``jobs=N`` quarantine identically.  *stats*, when provided,
+    accumulates the pool's incident counters.
     """
     n_items = len(items)
     if jobs == 1 or n_items <= 1:
         results = []
-        for item in items:
-            results.append(fn(item))
+        for index, item in enumerate(items):
+            try:
+                results.append(fn(item))
+            except Exception as exc:
+                if on_item_failed is None:
+                    raise
+                if stats is not None:
+                    stats.quarantined_cells += 1
+                results.append(
+                    on_item_failed(index, f"{type(exc).__name__}: {exc}")
+                )
             if progress is not None:
                 progress(len(results), n_items)
         return results
     if not fork_available():  # pragma: no cover - platform-dependent
         return _fan_out_futures(items, fn, jobs, progress)
     results = [None] * n_items
+    failed: dict[int, str] = {}
 
     def work(start: int, stop: int, cell_done) -> list:
         chunk = []
         for index in range(start, stop):
             chunk.append(fn(items[index]))
             if cell_done is not None:
-                cell_done()
+                cell_done(index)
         return chunk
 
     for start, stop, payload in run_chunked(
-        work, n_items, jobs=jobs, chunk_size=chunk_size, progress=progress
+        work,
+        n_items,
+        jobs=jobs,
+        chunk_size=chunk_size,
+        progress=progress,
+        policy=policy,
+        stats=stats,
+        on_cell_failed=(
+            None
+            if on_item_failed is None
+            else lambda index, detail: failed.setdefault(index, detail)
+        ),
     ):
         results[start:stop] = payload
+    for index, detail in failed.items():
+        results[index] = on_item_failed(index, detail)
     return results
 
 
@@ -177,18 +231,26 @@ def run_scenario_spec_traced(
     return result, tracer.freeze()
 
 
-def _sweep_chunk_work(arena: SweepArena, traced: bool):
+def _sweep_chunk_work(arena: SweepArena, traced: bool, indices: Sequence[int]):
     """The in-worker chunk body: run cells, fold metrics into the arena.
 
     Numeric results land directly in the shared columnar table — the
     chunk's queue envelope is empty (untraced) or just the frozen
     per-cell traces (traced).  The closure and the arena it captures
     cross into workers via fork, never pickle.
+
+    *indices* maps pool positions to arena indices: a resumed sweep
+    pools only over the cells its journal is missing, so position ``p``
+    computes arena cell ``indices[p]``.  ``cell_done`` reports the pool
+    position (the pool's dedup key); the arena store happens *before*
+    the completion message, so the parent's journal observer always
+    sees the finished row in the shared map.
     """
 
     def work(start: int, stop: int, cell_done) -> list[Trace] | None:
         traces: list[Trace] | None = [] if traced else None
-        for index in range(start, stop):
+        for position in range(start, stop):
+            index = indices[position]
             spec = arena.scenario_for(index)
             if traced:
                 result, trace = run_scenario_spec_traced(spec)
@@ -197,7 +259,7 @@ def _sweep_chunk_work(arena: SweepArena, traced: bool):
                 result = run_scenario_spec(spec)
             arena.store(index, result)
             if cell_done is not None:
-                cell_done()
+                cell_done(position)
         return traces
 
     return work
@@ -217,70 +279,203 @@ class SweepRunner:
         grid: ScenarioGrid,
         jobs: int | None = 1,
         chunk_cells: int | None = None,
+        policy: PoolPolicy | None = None,
+        quarantine: bool = True,
     ) -> None:
         """*jobs*: worker processes; 1 runs inline, ``None`` uses the
         machine's CPU count.  *chunk_cells*: cells shipped per pool
-        task; ``None`` auto-tunes from grid size and *jobs*."""
+        task; ``None`` auto-tunes from grid size and *jobs*.  *policy*
+        tunes the self-healing pool (retries, backoff, chunk timeout);
+        *quarantine* False restores the legacy fail-fast contract where
+        any cell failure aborts the sweep."""
         self.grid = grid
         self.jobs = _resolve_jobs(jobs)
         if chunk_cells is not None and chunk_cells < 1:
             raise ConfigError("chunk_cells must be at least one cell")
         self.chunk_cells = chunk_cells
+        self.policy = policy if policy is not None else PoolPolicy()
+        self.quarantine = quarantine
 
     def _execute(
-        self, traced: bool, progress: ProgressFn | None
-    ) -> tuple[SweepArena, list[Trace]]:
-        """Run the grid through the arena; returns it plus any traces
-        in grid-index order."""
-        arena = SweepArena(self.grid)
+        self,
+        arena: SweepArena,
+        traced: bool,
+        progress: ProgressFn | None,
+        restored: dict[int, ScenarioResult] | None = None,
+        on_cell: Callable[[int], None] | None = None,
+        statuses: dict[int, tuple[str, str]] | None = None,
+        stats: PoolStats | None = None,
+    ) -> list[Trace]:
+        """Run the grid through *arena*; returns any traces in
+        grid-index order.
+
+        *restored* maps arena indices to journaled results: those cells
+        are stored, not recomputed.  *on_cell* observes each freshly
+        resolved arena index exactly once (the journal append point) —
+        called as ``on_cell(index)`` for computed cells (the row is in
+        the arena) and ``on_cell(index, failed_result)`` for
+        quarantined ones (the arena row carries only numbers; the
+        status must ride the callback).  With *statuses* (quarantine
+        enabled) poison cells store a failed result and record
+        ``(status, error)`` there instead of aborting; *stats*
+        accumulates the pool's incident counters.
+        """
         n_cells = len(arena)
+        restored = restored if restored is not None else {}
+        for index, result in restored.items():
+            arena.store(index, result)
+            if statuses is not None and result.status != "ok":
+                statuses[index] = (result.status, result.error)
+        remaining = [i for i in range(n_cells) if i not in restored]
+        offset = n_cells - len(remaining)
         traces: list[Trace] = []
-        if self.jobs == 1 or n_cells <= 1:
-            for index in range(n_cells):
+
+        def cell_progress(done: int, _total: int) -> None:
+            progress(offset + done, n_cells)
+
+        def quarantine_cell(index: int, detail: str) -> None:
+            spec = arena.scenario_for(index)
+            failed = ScenarioResult.failed(
+                name=spec.name,
+                cell=spec.cell,
+                trace_seed=spec.trace_seed,
+                error=detail,
+            )
+            arena.store(index, failed)
+            statuses[index] = ("quarantined", detail)
+            if on_cell is not None:
+                on_cell(index, failed)
+
+        wrapped_progress = cell_progress if progress is not None else None
+        if self.jobs == 1 or len(remaining) <= 1:
+            for done, index in enumerate(remaining, start=1):
                 spec = arena.scenario_for(index)
-                if traced:
-                    result, trace = run_scenario_spec_traced(spec)
-                    traces.append(trace)
+                try:
+                    if traced:
+                        result, trace = run_scenario_spec_traced(spec)
+                        traces.append(trace)
+                    else:
+                        result = run_scenario_spec(spec)
+                except Exception as exc:
+                    if statuses is None:
+                        raise
+                    if stats is not None:
+                        stats.quarantined_cells += 1
+                    quarantine_cell(index, f"{type(exc).__name__}: {exc}")
                 else:
-                    result = run_scenario_spec(spec)
-                arena.store(index, result)
-                if progress is not None:
-                    progress(index + 1, n_cells)
+                    arena.store(index, result)
+                    if on_cell is not None:
+                        on_cell(index)
+                if wrapped_progress is not None:
+                    wrapped_progress(done, len(remaining))
         elif not fork_available():  # pragma: no cover - platform-dependent
             fn = run_scenario_spec_traced if traced else run_scenario_spec
-            specs = [arena.scenario_for(index) for index in range(n_cells)]
-            for index, out in enumerate(
-                _fan_out_futures(specs, fn, self.jobs, progress)
+            specs = [arena.scenario_for(index) for index in remaining]
+            for position, out in enumerate(
+                _fan_out_futures(specs, fn, self.jobs, wrapped_progress)
             ):
+                index = remaining[position]
                 if traced:
                     result, trace = out
                     traces.append(trace)
                 else:
                     result = out
                 arena.store(index, result)
+                if on_cell is not None:
+                    on_cell(index)
         else:
             for _start, _stop, payload in run_chunked(
-                _sweep_chunk_work(arena, traced),
-                n_cells,
+                _sweep_chunk_work(arena, traced, remaining),
+                len(remaining),
                 jobs=self.jobs,
                 chunk_size=self.chunk_cells,
-                progress=progress,
+                progress=wrapped_progress,
+                policy=self.policy,
+                stats=stats,
+                on_cell=(
+                    None
+                    if on_cell is None
+                    else lambda position, _payload: on_cell(
+                        remaining[position]
+                    )
+                ),
+                on_cell_failed=(
+                    None
+                    if statuses is None
+                    else lambda position, detail: quarantine_cell(
+                        remaining[position], detail
+                    )
+                ),
             ):
                 if traced:
                     traces.extend(payload)
-        return arena, traces
+        return traces
 
     def run(
-        self, grid_name: str = "sweep", progress: ProgressFn | None = None
+        self,
+        grid_name: str = "sweep",
+        progress: ProgressFn | None = None,
+        journal_path: str | pathlib.Path | None = None,
+        resume: bool = False,
     ) -> SweepReport:
-        """Execute every scenario; returns the aggregated report."""
+        """Execute every scenario; returns the aggregated report.
+
+        With *journal_path* every completed cell is durably appended to
+        a run journal (fsync'd before the cell counts), so a killed
+        sweep loses at most its in-flight cells.  With *resume* the
+        journal is validated against this grid first and its cells are
+        restored instead of recomputed — the resumed report is
+        byte-identical (modulo wall clock) to an uninterrupted run.
+        On ``KeyboardInterrupt`` the journal is already durable: the
+        interrupt propagates after the pool shuts down, and the caller
+        can offer ``--resume``.
+        """
         start = time.perf_counter()
-        arena, _ = self._execute(traced=False, progress=progress)
+        journal: RunJournal | None = None
+        restored: dict[int, ScenarioResult] = {}
+        identities: list[tuple[str, str]] | None = None
+        if journal_path is not None:
+            if resume:
+                journal, restored = RunJournal.resume_or_create(
+                    journal_path, self.grid, grid_name
+                )
+            else:
+                journal = RunJournal.create(journal_path, self.grid, grid_name)
+            identities = cell_identities(self.grid)
+        stats = PoolStats()
+        statuses: dict[int, tuple[str, str]] = {}
+        arena = SweepArena(self.grid)
+
+        def journal_cell(index: int, result: ScenarioResult | None = None) -> None:
+            if result is None:  # computed cell: the row is in the arena
+                result = arena.result_for(index)
+            journal.append_result(identities[index][1], result)
+
+        try:
+            self._execute(
+                arena,
+                traced=False,
+                progress=progress,
+                restored=restored,
+                on_cell=journal_cell if journal is not None else None,
+                statuses=statuses if self.quarantine else None,
+                stats=stats,
+            )
+        finally:
+            if journal is not None:
+                journal.close()
+        results = arena.materialize()
+        for index, (status, error) in statuses.items():
+            results[index] = replace(results[index], status=status, error=error)
+        extras: dict = {}
+        if stats.any():
+            extras["fault_tolerance"] = stats.as_dict()
         return SweepReport(
-            results=arena.materialize(),
+            results=results,
             grid_name=grid_name,
             total_wall_s=time.perf_counter() - start,
             jobs=self.jobs,
+            extras=extras,
         )
 
     def run_traced(
@@ -288,9 +483,16 @@ class SweepRunner:
     ) -> tuple[SweepReport, Trace]:
         """Execute with per-cell tracing; the merged trace holds one
         process per cell, in canonical (name-sorted) order regardless
-        of fan-out width or chunking."""
+        of fan-out width or chunking.
+
+        Traced runs keep the legacy fail-fast contract (no quarantine,
+        no journal): a quarantined cell would hole the merged trace,
+        and trace captures are debugging runs where failing loudly is
+        the point.
+        """
         start = time.perf_counter()
-        arena, traces = self._execute(traced=True, progress=progress)
+        arena = SweepArena(self.grid)
+        traces = self._execute(arena, traced=True, progress=progress)
         report = SweepReport(
             results=arena.materialize(),
             grid_name=grid_name,
@@ -311,6 +513,7 @@ class ExperimentEntry:
     scenario_kind: str
     wall_s: float
     report: ReportBase
+    status: str = "ok"  # "ok" | "quarantined"
 
     def to_row(self) -> dict:
         return {
@@ -318,13 +521,16 @@ class ExperimentEntry:
             "scenario_kind": self.scenario_kind,
             "wall_s": self.wall_s,
             "report": self.report.envelope(),
+            "status": self.status,
         }
 
     @classmethod
     def from_row(cls, row: dict) -> "ExperimentEntry":
+        # status is optional so pre-quarantine artifacts still revive.
         require_keys(
             row,
             required=("name", "scenario_kind", "wall_s", "report"),
+            optional=("status",),
             context="experiment entry",
         )
         return cls(
@@ -332,6 +538,7 @@ class ExperimentEntry:
             scenario_kind=row["scenario_kind"],
             wall_s=revive_float(row["wall_s"]),
             report=ReportBase.from_envelope(row["report"]),
+            status=row.get("status", "ok"),
         )
 
 
@@ -384,6 +591,7 @@ class ExperimentReport(ReportBase):
     experiment_name: str = "experiment"
     total_wall_s: float = 0.0
     jobs: int = 1
+    extras: dict = field(default_factory=dict)
 
     def __post_init__(self) -> None:
         # Canonical order, same contract as SweepReport.
@@ -396,12 +604,18 @@ class ExperimentReport(ReportBase):
                 return candidate
         raise ConfigError(f"no experiment entry named {name!r}")
 
+    @property
+    def quarantined(self) -> list[ExperimentEntry]:
+        """Scenarios the self-healing pool isolated, in name order."""
+        return [e for e in self.entries if e.status == "quarantined"]
+
     def payload(self) -> dict:
         return {
             "experiment_name": self.experiment_name,
             "jobs": self.jobs,
             "total_wall_s": round(self.total_wall_s, 3),
             "entries": [entry.to_row() for entry in self.entries],
+            "extras": self.extras,
         }
 
     @classmethod
@@ -409,7 +623,7 @@ class ExperimentReport(ReportBase):
         require_keys(
             payload,
             required=("entries",),
-            optional=("experiment_name", "jobs", "total_wall_s"),
+            optional=("experiment_name", "jobs", "total_wall_s", "extras"),
             context="experiment report",
         )
         return cls(
@@ -419,12 +633,14 @@ class ExperimentReport(ReportBase):
             experiment_name=payload.get("experiment_name", "experiment"),
             jobs=payload.get("jobs", 1),
             total_wall_s=payload.get("total_wall_s", 0.0),
+            extras=payload.get("extras", {}),
         )
 
     def metrics(self) -> dict[str, float]:
         flat = {
             "experiments.scenarios": float(len(self.entries)),
             "experiments.total_wall_s": self.total_wall_s,
+            "experiments.quarantined": float(len(self.quarantined)),
         }
         kinds: dict[str, int] = {}
         for entry in self.entries:
@@ -432,6 +648,35 @@ class ExperimentReport(ReportBase):
         for kind, count in sorted(kinds.items()):
             flat[f"experiments.scenarios.{kind}"] = float(count)
         return flat
+
+    def deterministic_payload(self) -> dict:
+        """The payload with wall clocks and incident counters
+        neutralized — the bytes the determinism contract covers (same
+        convention as :meth:`SweepReport.deterministic_payload`)."""
+        payload = self.payload()
+        payload["total_wall_s"] = 0.0
+        payload["jobs"] = 0
+        payload["extras"] = {
+            key: value
+            for key, value in payload["extras"].items()
+            if key != "fault_tolerance"
+        }
+        for row in payload["entries"]:
+            row["wall_s"] = 0.0
+        return payload
+
+    def deterministic_json(self) -> str:
+        """Canonical JSON of :meth:`deterministic_payload`."""
+        from ..common.serialization import dump_json, null_specials
+
+        return dump_json(
+            null_specials(
+                {
+                    "report": self.report_kind,
+                    "payload": self.deterministic_payload(),
+                }
+            )
+        )
 
     def merge(self, other: "ReportBase") -> "ExperimentReport":
         """Fold another batch in (disjoint scenario names required)."""
@@ -452,6 +697,7 @@ class ExperimentReport(ReportBase):
         )
         self.total_wall_s += other.total_wall_s
         self.jobs = max(self.jobs, other.jobs)
+        self.extras.update(other.extras)
         return self
 
     def render(self) -> str:
@@ -497,8 +743,17 @@ class ExperimentRunner:
     """
 
     def __init__(
-        self, scenarios: Sequence[Scenario], jobs: int | None = 1
+        self,
+        scenarios: Sequence[Scenario],
+        jobs: int | None = 1,
+        policy: PoolPolicy | None = None,
+        quarantine: bool = False,
     ) -> None:
+        """*quarantine* True keeps the batch alive past a poison
+        scenario: it lands as a quarantined entry wrapping a
+        :class:`~repro.experiments.report.FailureReport` instead of
+        aborting the run.  Off by default — small heterogeneous batches
+        are usually interactive, where failing loudly is the point."""
         if not scenarios:
             raise ConfigError("an experiment needs at least one scenario")
         names = [scenario.name for scenario in scenarios]
@@ -506,6 +761,18 @@ class ExperimentRunner:
             raise ConfigError("scenario names must be unique within a batch")
         self.scenarios = list(scenarios)
         self.jobs = _resolve_jobs(jobs)
+        self.policy = policy if policy is not None else PoolPolicy()
+        self.quarantine = quarantine
+
+    def _quarantined_entry(self, index: int, detail: str) -> ExperimentEntry:
+        scenario = self.scenarios[index]
+        return ExperimentEntry(
+            name=scenario.name,
+            scenario_kind=scenario.kind,
+            wall_s=0.0,  # a crash's elapsed time is not reproducible
+            report=FailureReport(scenario=scenario.name, error=detail),
+            status="quarantined",
+        )
 
     def run(
         self,
@@ -514,12 +781,25 @@ class ExperimentRunner:
     ) -> ExperimentReport:
         """Execute every scenario; returns the batched report."""
         start = time.perf_counter()
-        entries = fan_out(self.scenarios, run_experiment, self.jobs, progress)
+        stats = PoolStats()
+        entries = fan_out(
+            self.scenarios,
+            run_experiment,
+            self.jobs,
+            progress,
+            policy=self.policy,
+            on_item_failed=self._quarantined_entry if self.quarantine else None,
+            stats=stats,
+        )
+        extras: dict = {}
+        if stats.any():
+            extras["fault_tolerance"] = stats.as_dict()
         return ExperimentReport(
             entries=entries,
             experiment_name=experiment_name,
             total_wall_s=time.perf_counter() - start,
             jobs=self.jobs,
+            extras=extras,
         )
 
     def run_traced(

@@ -7,6 +7,7 @@ import pytest
 from repro.common.errors import FormatError, ReproError
 from repro.common.serialization import (
     ReportBase,
+    atomic_write_text,
     dump_json,
     load_json,
     null_specials,
@@ -182,3 +183,57 @@ class TestReportBase:
 
         with pytest.raises(FormatError, match="reserved"):
             _Sneaky().to_json()
+
+
+class TestAtomicWrite:
+    def test_writes_and_returns_the_target(self, tmp_path):
+        target = tmp_path / "artifact.json"
+        assert atomic_write_text(target, "hello\n") == target
+        assert target.read_text() == "hello\n"
+
+    def test_overwrites_atomically_without_temp_litter(self, tmp_path):
+        target = tmp_path / "artifact.json"
+        target.write_text("old")
+        atomic_write_text(target, "new")
+        assert target.read_text() == "new"
+        assert [p.name for p in tmp_path.iterdir()] == ["artifact.json"]
+
+    def test_failure_leaves_the_old_artifact_intact(self, tmp_path, monkeypatch):
+        import os as os_module
+
+        import repro.common.serialization as serialization_module
+
+        target = tmp_path / "artifact.json"
+        target.write_text("precious")
+
+        def exploding_replace(src, dst):
+            raise OSError("disk on fire")
+
+        monkeypatch.setattr(
+            serialization_module.os, "replace", exploding_replace
+        )
+        with pytest.raises(OSError, match="disk on fire"):
+            atomic_write_text(target, "half-written garbage")
+        monkeypatch.undo()
+        assert target.read_text() == "precious"
+        # The aborted temp file was cleaned up, not left beside it.
+        assert [p.name for p in tmp_path.iterdir()] == ["artifact.json"]
+        assert os_module.path.exists(target)
+
+    def test_report_write_is_atomic(self, tmp_path, monkeypatch):
+        import repro.common.serialization as serialization_module
+
+        target = tmp_path / "toy.json"
+        _ToyReport(1.0).write(target)
+        before = target.read_text()
+
+        def exploding_replace(src, dst):
+            raise OSError("disk on fire")
+
+        monkeypatch.setattr(
+            serialization_module.os, "replace", exploding_replace
+        )
+        with pytest.raises(OSError):
+            _ToyReport(2.0).write(target)
+        monkeypatch.undo()
+        assert target.read_text() == before

@@ -5,7 +5,10 @@ persistent pool is *invisible* in every artifact — serial, any
 ``jobs``, and any chunk size produce byte-identical sweep reports,
 experiment reports, and merged traces — while failure modes (a worker
 dying mid-chunk, an exception inside a cell) surface loudly instead of
-hanging the drain loop.
+hanging the drain loop.  (The self-healing behaviors layered on top —
+requeue, bisection, quarantine, resume — live in
+``test_fault_tolerance.py``; here we pin the legacy fail-fast
+semantics callers get when no quarantine hook is installed.)
 """
 
 import json

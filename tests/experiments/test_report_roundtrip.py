@@ -202,6 +202,73 @@ class TestSweepReport:
         with pytest.raises(Exception, match="re-running"):
             clone.merge(report)
 
+    def test_quarantined_result_round_trips(self):
+        failed = ScenarioResult.failed(
+            "cell/seed0", "cell", 0, error="worker died with exit code 9"
+        )
+        report = SweepReport(results=[failed], grid_name="poisoned")
+        revived = assert_byte_identical_round_trip(report)
+        assert revived.results[0].status == "quarantined"
+        assert revived.results[0].error == "worker died with exit code 9"
+        assert revived.quarantined == revived.results
+        assert revived.metrics()["sweep.quarantined"] == 1.0
+
+    def test_pre_quarantine_artifact_still_revives(self, report):
+        # Artifacts written before the status/error fields existed must
+        # load with the defaults, not be rejected as missing keys.
+        payload = report.payload()
+        for row in payload["scenarios"]:
+            row.pop("status")
+            row.pop("error")
+        revived = SweepReport.from_payload(payload)
+        assert all(r.status == "ok" and r.error == "" for r in revived.results)
+
+
+class TestFailureReport:
+    def test_round_trips_and_dispatches(self):
+        from repro.experiments import FailureReport
+
+        report = FailureReport(
+            scenario="fleet/busy/seed3",
+            error="RuntimeError: injected poison cell",
+        )
+        revived = assert_byte_identical_round_trip(report)
+        assert revived.scenario == "fleet/busy/seed3"
+        assert "poison" in revived.render()
+        assert revived.metrics() == {"failure.scenarios": 1.0}
+
+    def test_quarantined_experiment_entry_round_trips(self):
+        from repro.experiments import ExperimentRunner, PoolPolicy
+        import repro.experiments.runner as runner_module
+
+        scenarios = [
+            build_scenario("dpp/steady-state", seed=seed) for seed in (0, 1)
+        ]
+        victim = scenarios[1].name
+        real = runner_module.run_experiment
+
+        def flaky(scenario):
+            if scenario.name == victim:
+                raise ValueError("exploded")
+            return real(scenario)
+
+        runner = ExperimentRunner(
+            scenarios, jobs=1, policy=PoolPolicy(), quarantine=True
+        )
+        original = runner_module.run_experiment
+        runner_module.run_experiment = flaky
+        try:
+            report = runner.run("casualties")
+        finally:
+            runner_module.run_experiment = original
+        assert [e.name for e in report.quarantined] == [victim]
+        entry = report.quarantined[0]
+        assert entry.report.report_kind == "failure"
+        assert entry.report.error == "ValueError: exploded"
+        revived = assert_byte_identical_round_trip(report)
+        assert revived.quarantined[0].status == "quarantined"
+        assert revived.metrics()["experiments.quarantined"] == 1.0
+
 
 class TestOtherKinds:
     def test_stall_report_round_trips(self):
