@@ -15,8 +15,10 @@ import json
 
 from .harness import (
     REGRESSION_TOLERANCE,
+    baseline_warnings,
     compare_against_baseline,
     delta_table,
+    gate_required,
     run_all,
 )
 
@@ -67,7 +69,8 @@ class TestRegressionGate:
         baseline = _payload(a=100.0)
         problems = compare_against_baseline(fresh, baseline)
         assert len(problems) == 1
-        assert "a:" in problems[0] and "40%" in problems[0]
+        # Regression lines round like delta_table: one decimal place.
+        assert "a:" in problems[0] and "40.0%" in problems[0]
 
     def test_boundary_is_exactly_the_tolerance(self):
         baseline = _payload(a=100.0)
@@ -112,3 +115,58 @@ class TestDeltaTable:
 
     def test_empty_sides_render(self):
         assert delta_table({}, {}) == ["  (no metrics on either side)"]
+
+
+class TestBaselineWarnings:
+    def test_complete_baseline_is_silent(self):
+        assert baseline_warnings(_payload(a=1.0, b=2.0)) == []
+
+    def test_missing_unit_and_workload_warn_loudly(self):
+        baseline = {
+            "metrics": {
+                "a": {"value": 1.0, "workload": "synthetic"},  # no unit
+                "b": {"value": 2.0, "unit": "x/s"},  # no workload
+                "c": {"value": 3.0},  # neither
+            }
+        }
+        warnings = baseline_warnings(baseline)
+        assert len(warnings) == 3
+        assert "'a'" in warnings[0] and "unit" in warnings[0]
+        assert "'b'" in warnings[1] and "workload" in warnings[1]
+        assert "'c'" in warnings[2] and "unit and workload" in warnings[2]
+        assert all(line.startswith("warning:") for line in warnings)
+
+    def test_empty_string_fields_count_as_missing(self):
+        baseline = {"metrics": {"a": {"value": 1.0, "unit": "", "workload": "w"}}}
+        assert len(baseline_warnings(baseline)) == 1
+
+    def test_no_metrics_key_is_fine(self):
+        assert baseline_warnings({}) == []
+
+
+class TestRequiredGates:
+    def test_present_on_both_sides_passes(self):
+        fresh = _payload(fleet_events_per_s=100.0)
+        baseline = _payload(fleet_events_per_s=90.0)
+        assert gate_required(fresh, baseline, ("fleet_events_per_s",)) == []
+
+    def test_missing_from_fresh_run_fails(self):
+        problems = gate_required(
+            _payload(other=1.0), _payload(gated=1.0, other=1.0), ("gated",)
+        )
+        assert len(problems) == 1
+        assert "gated" in problems[0] and "missing from this run" in problems[0]
+
+    def test_missing_from_baseline_fails(self):
+        problems = gate_required(
+            _payload(gated=1.0), _payload(other=1.0), ("gated",)
+        )
+        assert len(problems) == 1
+        assert "committed baseline" in problems[0]
+
+    def test_value_less_entry_counts_as_missing(self):
+        fresh = {"metrics": {"gated": {"unit": "x/s"}}}
+        assert gate_required(fresh, _payload(gated=1.0), ("gated",))
+
+    def test_no_required_metrics_is_a_no_op(self):
+        assert gate_required(_payload(a=1.0), _payload(b=2.0), ()) == []

@@ -347,6 +347,7 @@ def run_chunked(
     policy: PoolPolicy | None = None,
     on_cell: Callable[[int, Any], None] | None = None,
     on_cell_failed: Callable[[int, str], None] | None = None,
+    on_chunk: Callable[[int, int], None] | None = None,
     stats: PoolStats | None = None,
 ) -> list[tuple[int, int, Any]]:
     """Run *work* over ``[0, n_items)`` across supervised forked workers.
@@ -366,7 +367,14 @@ def run_chunked(
       in-chunk raises, a ``RuntimeError`` for worker deaths);
     * *on_cell* observes each cell completion exactly once (``(index,
       payload)``, deduplicated across chunk retries, in completion
-      order) — the journal append point;
+      order) — the per-cell journal append point;
+    * *on_chunk* observes each successfully completed chunk once, as
+      ``on_chunk(start, stop)``, after every cell in the range is done
+      (a worker reports cells before its chunk ``ok`` on the same
+      pipe) — the once-per-chunk journal append point.  Quarantined
+      cells are never covered by an *on_chunk* range: bisection
+      isolates the poison into a single-cell chunk that fails rather
+      than completes;
     * *progress* is called per resolved cell with monotonic counts.
 
     *stats*, when provided, accumulates the incident counters.
@@ -444,6 +452,8 @@ def run_chunked(
                 slot.deadline = None
                 slot.deaths = 0
                 completed.append((chunk.start, chunk.stop, message[1]))
+                if on_chunk is not None:
+                    on_chunk(chunk.start, chunk.stop)
                 active -= 1
             else:  # "err": the chunk raised, the worker survived
                 chunk = slot.chunk

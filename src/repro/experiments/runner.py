@@ -56,6 +56,7 @@ from .pool import (
     PoolPolicy,
     PoolStats,
     SweepArena,
+    auto_chunk_size,
     fork_available,
     run_chunked,
 )
@@ -191,8 +192,11 @@ def run_scenario_spec(
     """Run one fleet scenario to completion (or horizon) and reduce it.
 
     Module top-level so it fans through ``ProcessPoolExecutor``
-    unchanged.  The full :class:`~repro.fleet.report.FleetReport` stays
-    in the worker process; only the flat result crosses back.
+    unchanged.  The reduction rides the simulator's flat summary path
+    (:meth:`~repro.fleet.simulator.FleetSimulator.run_summary`): no
+    :class:`~repro.fleet.report.FleetReport` envelope is ever
+    materialized — only the eleven aggregate numbers, bit-identical to
+    the report-mediated reduction, cross back.
     """
     start = time.perf_counter()
     simulator = spec.build(tracer=tracer)
@@ -204,17 +208,17 @@ def run_scenario_spec(
             wall_s=time.perf_counter() - start,
         )
     fired_before = simulator.clock.fired
-    report = simulator.run(
+    summary = simulator.run_summary(
         horizon_s=spec.horizon_s, max_events=MAX_EVENTS_PER_SCENARIO
     )
     events = simulator.clock.fired - fired_before
-    return ScenarioResult.from_fleet_report(
+    return ScenarioResult(
         name=spec.name,
         cell=spec.cell,
         trace_seed=spec.trace_seed,
-        report=report,
         events_fired=events,
         wall_s=time.perf_counter() - start,
+        **summary,
     )
 
 
@@ -303,6 +307,7 @@ class SweepRunner:
         progress: ProgressFn | None,
         restored: dict[int, ScenarioResult] | None = None,
         on_cell: Callable[[int], None] | None = None,
+        on_chunk: Callable[[list[int]], None] | None = None,
         statuses: dict[int, tuple[str, str]] | None = None,
         stats: PoolStats | None = None,
     ) -> list[Trace]:
@@ -310,15 +315,18 @@ class SweepRunner:
         grid-index order.
 
         *restored* maps arena indices to journaled results: those cells
-        are stored, not recomputed.  *on_cell* observes each freshly
-        resolved arena index exactly once (the journal append point) —
-        called as ``on_cell(index)`` for computed cells (the row is in
-        the arena) and ``on_cell(index, failed_result)`` for
-        quarantined ones (the arena row carries only numbers; the
-        status must ride the callback).  With *statuses* (quarantine
-        enabled) poison cells store a failed result and record
-        ``(status, error)`` there instead of aborting; *stats*
-        accumulates the pool's incident counters.
+        are stored, not recomputed.  *on_chunk*, when given, observes
+        freshly computed arena indices in completed batches — one call
+        per pool chunk (the rows are already in the arena), which is
+        the once-per-chunk journal append point.  *on_cell* observes
+        single cells: ``on_cell(index)`` for computed cells when no
+        *on_chunk* is wired (legacy per-cell journaling) and
+        ``on_cell(index, failed_result)`` for quarantined ones (the
+        arena row carries only numbers; the status must ride the
+        callback).  With *statuses* (quarantine enabled) poison cells
+        store a failed result and record ``(status, error)`` there
+        instead of aborting; *stats* accumulates the pool's incident
+        counters.
         """
         n_cells = len(arena)
         restored = restored if restored is not None else {}
@@ -348,26 +356,44 @@ class SweepRunner:
 
         wrapped_progress = cell_progress if progress is not None else None
         if self.jobs == 1 or len(remaining) <= 1:
-            for done, index in enumerate(remaining, start=1):
-                spec = arena.scenario_for(index)
-                try:
-                    if traced:
-                        result, trace = run_scenario_spec_traced(spec)
-                        traces.append(trace)
+            # Inline execution batches journal appends at the same
+            # granularity the pool would have chunked at, so serial and
+            # pooled runs pay comparable (amortised) fsync costs.
+            batch: list[int] = []
+            batch_cells = (
+                auto_chunk_size(len(remaining), 1) if remaining else 1
+            )
+            try:
+                for done, index in enumerate(remaining, start=1):
+                    spec = arena.scenario_for(index)
+                    try:
+                        if traced:
+                            result, trace = run_scenario_spec_traced(spec)
+                            traces.append(trace)
+                        else:
+                            result = run_scenario_spec(spec)
+                    except Exception as exc:
+                        if statuses is None:
+                            raise
+                        if stats is not None:
+                            stats.quarantined_cells += 1
+                        quarantine_cell(index, f"{type(exc).__name__}: {exc}")
                     else:
-                        result = run_scenario_spec(spec)
-                except Exception as exc:
-                    if statuses is None:
-                        raise
-                    if stats is not None:
-                        stats.quarantined_cells += 1
-                    quarantine_cell(index, f"{type(exc).__name__}: {exc}")
-                else:
-                    arena.store(index, result)
-                    if on_cell is not None:
-                        on_cell(index)
-                if wrapped_progress is not None:
-                    wrapped_progress(done, len(remaining))
+                        arena.store(index, result)
+                        if on_chunk is not None:
+                            batch.append(index)
+                            if len(batch) >= batch_cells:
+                                on_chunk(batch)
+                                batch = []
+                        elif on_cell is not None:
+                            on_cell(index)
+                    if wrapped_progress is not None:
+                        wrapped_progress(done, len(remaining))
+            finally:
+                # Completed-but-unjournaled cells become durable even
+                # when an exception or interrupt cuts the loop short.
+                if on_chunk is not None and batch:
+                    on_chunk(batch)
         elif not fork_available():  # pragma: no cover - platform-dependent
             fn = run_scenario_spec_traced if traced else run_scenario_spec
             specs = [arena.scenario_for(index) for index in remaining]
@@ -381,7 +407,9 @@ class SweepRunner:
                 else:
                     result = out
                 arena.store(index, result)
-                if on_cell is not None:
+                if on_chunk is not None:
+                    on_chunk([index])
+                elif on_cell is not None:
                     on_cell(index)
         else:
             for _start, _stop, payload in run_chunked(
@@ -394,7 +422,7 @@ class SweepRunner:
                 stats=stats,
                 on_cell=(
                     None
-                    if on_cell is None
+                    if on_cell is None or on_chunk is not None
                     else lambda position, _payload: on_cell(
                         remaining[position]
                     )
@@ -404,6 +432,13 @@ class SweepRunner:
                     if statuses is None
                     else lambda position, detail: quarantine_cell(
                         remaining[position], detail
+                    )
+                ),
+                on_chunk=(
+                    None
+                    if on_chunk is None
+                    else lambda start, stop: on_chunk(
+                        [remaining[p] for p in range(start, stop)]
                     )
                 ),
             ):
@@ -421,8 +456,10 @@ class SweepRunner:
         """Execute every scenario; returns the aggregated report.
 
         With *journal_path* every completed cell is durably appended to
-        a run journal (fsync'd before the cell counts), so a killed
-        sweep loses at most its in-flight cells.  With *resume* the
+        a run journal, batched per worker chunk (one serialize + fsync
+        covers the whole chunk), so a killed sweep loses at most its
+        in-flight chunks — those cells simply recompute, byte-identical,
+        on resume.  With *resume* the
         journal is validated against this grid first and its cells are
         restored instead of recomputed — the resumed report is
         byte-identical (modulo wall clock) to an uninterrupted run.
@@ -446,10 +483,28 @@ class SweepRunner:
         statuses: dict[int, tuple[str, str]] = {}
         arena = SweepArena(self.grid)
 
+        journaled: set[int] = set()
+
         def journal_cell(index: int, result: ScenarioResult | None = None) -> None:
+            if index in journaled:
+                return
+            journaled.add(index)
             if result is None:  # computed cell: the row is in the arena
                 result = arena.result_for(index)
             journal.append_result(identities[index][1], result)
+
+        def journal_chunk(indices: list[int]) -> None:
+            # One batch append per completed chunk: the parent rebuilds
+            # each cell's journal envelope from the arena columns, so
+            # the worker never serialized anything per cell.
+            pairs = []
+            for index in indices:
+                if index in journaled:
+                    continue
+                journaled.add(index)
+                pairs.append((identities[index][1], arena.result_for(index)))
+            if pairs:
+                journal.append_results(pairs)
 
         try:
             self._execute(
@@ -458,6 +513,7 @@ class SweepRunner:
                 progress=progress,
                 restored=restored,
                 on_cell=journal_cell if journal is not None else None,
+                on_chunk=journal_chunk if journal is not None else None,
                 statuses=statuses if self.quarantine else None,
                 stats=stats,
             )

@@ -264,6 +264,16 @@ class NullTracer:
     def span(self, name: str, actor: str = "main", **args) -> _NullSpan:
         return _NULL_SPAN
 
+    def emit_span(
+        self,
+        name: str,
+        actor: str,
+        start_s: float,
+        dur_s: float,
+        args: tuple = (),
+    ) -> None:
+        pass
+
     def instant(self, name: str, actor: str = "main", **args) -> None:
         pass
 
@@ -343,6 +353,25 @@ class Tracer:
             yield self
         finally:
             self.end(actor)
+
+    def emit_span(
+        self,
+        name: str,
+        actor: str,
+        start_s: float,
+        dur_s: float,
+        args: tuple = (),
+    ) -> None:
+        """Append an already-closed span — the hot-loop shortcut.
+
+        For a caller that knows the span's bounds up front this is
+        :meth:`begin` + :meth:`end` minus the actor-stack traffic and
+        kwargs freezing; it emits the identical :class:`TraceEvent`.
+        *args* must already be in frozen ``(key, value)`` tuple form.
+        """
+        self._events.append(
+            TraceEvent(PHASE_SPAN, name, actor, start_s, dur_s, args)
+        )
 
     def instant(self, name: str, actor: str = "main", **args) -> None:
         """A point event (fault injected, job admitted, ...)."""

@@ -390,6 +390,198 @@ class TestFiredCounter:
         assert clock.pending == 0
 
 
+class TestRunWhileBatchedDrain:
+    """Edge cases of the merged heap + periodic drain under run_while."""
+
+    def test_cancel_fired_mid_batch_skips_the_corpse(self):
+        # An event fired inside the batch cancels a later pending one;
+        # the drain must treat the fresh corpse as dead, not fire it.
+        clock = SimClock()
+        fired = []
+        victim = clock.schedule(5.0, lambda: fired.append("victim"))
+        clock.schedule(1.0, lambda: victim.cancel())
+        clock.schedule(6.0, lambda: fired.append("survivor"))
+        assert clock.run_while(lambda: True) == 2
+        assert fired == ["survivor"]
+        assert clock.fired == 2
+
+    def test_periodic_cancelled_mid_batch_by_heap_event(self):
+        # A one-shot event at the same timestamp (earlier seq) cancels
+        # the periodic's already-due occurrence: it must not fire.
+        clock = SimClock()
+        ticks = []
+        handle = clock.every(2.0, lambda: ticks.append(clock.now))
+        clock.schedule_at(4.0, handle.cancel)  # seq 1 < the t=4 tick's
+        clock.run_while(lambda: True)
+        assert ticks == [2.0]
+        assert clock.pending == 0
+
+    def test_zero_interval_periodic_rejected(self):
+        clock = SimClock()
+        with pytest.raises(ValueError):
+            clock.every(0.0, lambda: None)
+        with pytest.raises(ValueError):
+            clock.every(-1.0, lambda: None)
+        # The failed registrations leave no pending occurrence behind.
+        assert clock.pending == 0
+        assert clock.run_while(lambda: True) == 0
+
+    def test_compaction_inside_batch_preserves_drain(self):
+        # A callback cancelling en masse triggers heap compaction while
+        # run_while holds its local alias; survivors must still fire in
+        # order alongside a periodic recurrence.
+        clock = SimClock()
+        fired = []
+        victims = [
+            clock.schedule(10.0 + i, lambda: fired.append("victim"))
+            for i in range(200)
+        ]
+        clock.schedule(1.0, lambda: [v.cancel() for v in victims])
+        clock.every(100.0, lambda: fired.append(("tick", clock.now)), until=300.0)
+        clock.schedule(250.0, lambda: fired.append("survivor"))
+        count = clock.run_while(lambda: True)
+        assert fired == [
+            ("tick", 100.0), ("tick", 200.0), "survivor", ("tick", 300.0),
+        ]
+        assert count == 5  # the cancel event + two ticks + survivor + tick
+        assert len(clock._heap) < 200  # compaction ran mid-batch
+
+    def test_fired_counter_matches_step_loop_with_periodics(self):
+        # The merged periodic+heap drain must count exactly what the
+        # unbatched step() driver counts, event for event.
+        def build():
+            clock = SimClock()
+            log = []
+            clock.every(1.5, lambda: log.append(("p", clock.now)), until=9.0)
+            clock.every(2.0, lambda: log.append(("q", clock.now)), until=8.0)
+            for i in range(5):
+                clock.schedule(float(i * 2 + 1), lambda i=i: log.append(("e", i)))
+            clock.schedule(3.0, lambda: None).cancel()
+            return clock, log
+
+        stepped, step_log = build()
+        steps = 0
+        while stepped.step():
+            steps += 1
+
+        batched, batch_log = build()
+        count = batched.run_while(lambda: True)
+        assert count == steps
+        assert batch_log == step_log
+        assert batched.fired == stepped.fired
+        assert batched.now == stepped.now
+        assert batched.pending == stepped.pending == 0
+
+    def test_condition_stops_between_periodic_occurrences(self):
+        clock = SimClock()
+        ticks = []
+        clock.every(1.0, lambda: ticks.append(clock.now))
+        assert clock.run_while(lambda: len(ticks) < 3) == 3
+        assert ticks == [1.0, 2.0, 3.0]
+        assert clock.pending == 1  # the recurrence is still live
+        assert clock.run_while(lambda: len(ticks) < 4) == 1
+        assert ticks[-1] == 4.0
+
+
+class TestBulkPeriodicSublane:
+    """The sole-runnable-periodic fast loop inside the batched drain.
+
+    When one recurrence is provably the only runnable event, its
+    occurrences fire in a tight loop; any callback mutation of the
+    pending set must drop the drain back to full merge arbitration
+    with order, timestamps, and the fired counter unchanged.
+    """
+
+    def test_self_cancel_mid_bulk_stops_recurrence(self):
+        clock = SimClock()
+        ticks = []
+        handle = clock.every(1.0, lambda: ticks.append(clock.now))
+
+        def tick():
+            ticks.append(clock.now)
+            if len(ticks) == 5:
+                handle.cancel()
+
+        handle._periodic.callback = tick  # rebind body, keep handle
+        clock.schedule(100.0, lambda: ticks.append("late"))
+        clock.run_while(lambda: True)
+        assert ticks == [1.0, 2.0, 3.0, 4.0, 5.0, "late"]
+        assert clock.pending == 0
+
+    def test_heap_event_scheduled_into_the_window_fires_in_order(self):
+        # A bulk-running callback schedules a one-shot landing between
+        # upcoming occurrences: the sublane must yield so the merge
+        # lane fires it at its proper slot.
+        clock = SimClock()
+        log = []
+
+        def tick():
+            log.append(("tick", clock.now))
+            if clock.now == 2.0:
+                clock.schedule(1.5, lambda: log.append(("shot", clock.now)))
+
+        clock.every(1.0, tick)
+        clock.run_while(lambda: len(log) < 6)
+        assert log == [
+            ("tick", 1.0), ("tick", 2.0), ("tick", 3.0),
+            ("shot", 3.5), ("tick", 4.0), ("tick", 5.0),
+        ]
+
+    def test_periodic_registered_mid_bulk_interleaves(self):
+        clock = SimClock()
+        log = []
+
+        def tick():
+            log.append(("a", clock.now))
+            if clock.now == 2.0:
+                clock.every(2.0, lambda: log.append(("b", clock.now)))
+
+        clock.every(1.0, tick)
+        clock.run_while(lambda: len(log) < 6)
+        assert log == [
+            ("a", 1.0), ("a", 2.0), ("a", 3.0),
+            ("b", 4.0), ("a", 4.0), ("a", 5.0),
+        ]
+
+    def test_until_exhaustion_inside_bulk(self):
+        clock = SimClock()
+        ticks = []
+        clock.every(1.0, lambda: ticks.append(clock.now), until=4.0)
+        clock.schedule(10.0, lambda: ticks.append("late"))
+        assert clock.run_while(lambda: True) == 5
+        assert ticks == [1.0, 2.0, 3.0, 4.0, "late"]
+
+    def test_timestamp_tie_at_window_edge_respects_seq(self):
+        # Occurrences of two recurrences collide at t=6: the earlier
+        # registration's (older-seq) occurrence must fire first even
+        # though the faster periodic arrives at the tie mid-bulk.
+        clock = SimClock()
+        log = []
+        clock.every(6.0, lambda: log.append(("slow", clock.now)))
+        clock.every(2.0, lambda: log.append(("fast", clock.now)))
+        clock.run_while(lambda: len(log) < 4)
+        assert log == [
+            ("fast", 2.0), ("fast", 4.0), ("slow", 6.0), ("fast", 6.0),
+        ]
+
+    def test_bulk_run_matches_step_loop_exactly(self):
+        def build():
+            clock = SimClock()
+            log = []
+            clock.every(1.0, lambda: log.append(("p", clock.now)), until=50.0)
+            clock.schedule(17.5, lambda: log.append(("e", clock.now)))
+            return clock, log
+
+        stepped, step_log = build()
+        while stepped.step():
+            pass
+        batched, batch_log = build()
+        batched.run_while(lambda: True)
+        assert batch_log == step_log
+        assert batched.fired == stepped.fired
+        assert batched.now == stepped.now
+
+
 class TestRunWhile:
     def test_matches_step_driven_loop_exactly(self):
         def build():
